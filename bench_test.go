@@ -1,0 +1,420 @@
+// Benchmarks regenerating the paper's table and figures, one benchmark (or
+// benchmark family) per artifact. The paper is a theory paper — it reports
+// no wall-clock numbers — so the benchmarks measure the executable content
+// of each construction: monitor step costs, adversary wrapper overhead,
+// sketch reconstruction, the decidability experiments, and the
+// snapshot-versus-collect ablation that Section 6.2 calls out.
+package drv_test
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/drv-go/drv/internal/abd"
+	"github.com/drv-go/drv/internal/adversary"
+	"github.com/drv-go/drv/internal/experiment"
+	"github.com/drv-go/drv/internal/lang"
+	"github.com/drv-go/drv/internal/monitor"
+	"github.com/drv-go/drv/internal/msgnet"
+	"github.com/drv-go/drv/internal/sched"
+	"github.com/drv-go/drv/internal/sketch"
+	"github.com/drv-go/drv/internal/spec"
+	"github.com/drv-go/drv/internal/sut"
+	"github.com/drv-go/drv/internal/word"
+)
+
+const benchProcs = 3
+
+// runMonitor drives a monitor against A exhibiting the source for maxSteps.
+func runMonitor(m monitor.Monitor, src adversary.Source, seed int64, maxSteps int) *monitor.Result {
+	adv := adversary.NewA(benchProcs, src)
+	return monitor.Run(monitor.Config{
+		N:       benchProcs,
+		Monitor: m,
+		NewService: func(rt *sched.Runtime) (adversary.Service, []int) {
+			return adv, []int{adv.Register(rt)}
+		},
+		Policy: func(aux []int) sched.Policy {
+			return sched.Biased(seed, aux[0], 0.5)
+		},
+		MaxSteps: maxSteps,
+	})
+}
+
+// runTimedMonitor drives a timed monitor factory against Aτ wrapping A.
+func runTimedMonitor(mk func(*adversary.Timed) monitor.Monitor, src adversary.Source, kind adversary.ArrayKind, seed int64, maxSteps int) *monitor.Result {
+	adv := adversary.NewA(benchProcs, src)
+	tau := adversary.NewTimed(benchProcs, adv, kind)
+	return monitor.Run(monitor.Config{
+		N:       benchProcs,
+		Monitor: mk(tau),
+		NewService: func(rt *sched.Runtime) (adversary.Service, []int) {
+			return tau, []int{adv.Register(rt)}
+		},
+		Policy: func(aux []int) sched.Policy {
+			return sched.Biased(seed, aux[0], 0.5)
+		},
+		MaxSteps: maxSteps,
+	})
+}
+
+// ---------------------------------------------------------------- Table 1
+
+// BenchmarkTable1 regenerates one row of Table 1 per sub-benchmark: the
+// complete set of possibility sweeps and impossibility constructions for
+// that language. Together the seven sub-benchmarks are the whole table.
+func BenchmarkTable1(b *testing.B) {
+	p := experiment.DefaultParams()
+	// Benchmark-sized: one seed, shorter runs; the full-depth table runs in
+	// TestTable1AllCellsReproduce and cmd/drvtable.
+	p.Seeds = []int64{1}
+	p.Steps = 8_000
+	p.TimedSteps = 1_500
+	p.SCSteps = 800
+	p.SwapRounds = 4
+	p.AttackRounds = 4
+	p.Stages = 2
+	rows := []string{"LIN_REG", "SC_REG", "LIN_LED", "SC_LED", "EC_LED", "WEC_COUNT", "SEC_COUNT"}
+	for _, name := range rows {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				all := experiment.Table1(p)
+				for _, row := range all {
+					if row.Lang != name {
+						continue
+					}
+					for _, cell := range row.Cells {
+						if cell.Err != nil {
+							b.Fatalf("%s %s: %v", cell.Lang, cell.Class, cell.Err)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------- Figure 1
+
+// BenchmarkFig1_MonitorLoop measures the bare Figure 1 loop: a constant
+// monitor against A, isolating the scheduler + adversary cost per monitored
+// operation.
+func BenchmarkFig1_MonitorLoop(b *testing.B) {
+	src := lang.WECCount().Sources(benchProcs, 1)[0]
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		runMonitor(monitor.Constant(monitor.Yes), src.New(), 1, 10_000)
+	}
+}
+
+// ---------------------------------------------------------------- Figures 2–4
+
+// BenchmarkFig2_StabilizeTransform measures the Lemma 4.1 FLAG wrapper
+// overhead on the Figure 5 monitor.
+func BenchmarkFig2_StabilizeTransform(b *testing.B) {
+	src := lang.WECCount().Sources(benchProcs, 1)[0]
+	m := monitor.Stabilize(monitor.NewWEC(adversary.ArrayAtomic))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		runMonitor(m, src.New(), 1, 10_000)
+	}
+}
+
+// BenchmarkFig3_WADTransform measures the Lemma 4.2 counter-array wrapper.
+func BenchmarkFig3_WADTransform(b *testing.B) {
+	src := lang.WECCount().Sources(benchProcs, 1)[0]
+	m := monitor.AmplifyWAD(monitor.NewWEC(adversary.ArrayAtomic), adversary.ArrayAtomic)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		runMonitor(m, src.New(), 1, 10_000)
+	}
+}
+
+// BenchmarkFig4_WODTransform measures the Lemma 4.3 wrapper.
+func BenchmarkFig4_WODTransform(b *testing.B) {
+	src := lang.WECCount().Sources(benchProcs, 1)[0]
+	m := monitor.AmplifyWOD(monitor.NewWEC(adversary.ArrayAtomic), adversary.ArrayAtomic)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		runMonitor(m, src.New(), 1, 10_000)
+	}
+}
+
+// ---------------------------------------------------------------- Figure 5
+
+// BenchmarkFig5_WECMonitor measures the Figure 5 monitor, with the Section
+// 6.2 snapshot-versus-collect ablation over the INCS array.
+func BenchmarkFig5_WECMonitor(b *testing.B) {
+	for _, kind := range []adversary.ArrayKind{adversary.ArrayAtomic, adversary.ArrayAADGMS, adversary.ArrayCollect} {
+		b.Run(kindName(kind), func(b *testing.B) {
+			src := lang.WECCount().Sources(benchProcs, 1)[0]
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				runMonitor(monitor.NewWEC(kind), src.New(), 1, 10_000)
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------- Figure 6
+
+// BenchmarkFig6_TimedAdversary measures the Aτ wrapper overhead: the same
+// behaviour monitored bare versus wrapped (announce + snapshot per op).
+func BenchmarkFig6_TimedAdversary(b *testing.B) {
+	b.Run("bare", func(b *testing.B) {
+		src := lang.WECCount().Sources(benchProcs, 1)[0]
+		for i := 0; i < b.N; i++ {
+			runMonitor(monitor.Constant(monitor.Yes), src.New(), 1, 10_000)
+		}
+	})
+	for _, kind := range []adversary.ArrayKind{adversary.ArrayAtomic, adversary.ArrayAADGMS, adversary.ArrayCollect} {
+		b.Run("timed-"+kindName(kind), func(b *testing.B) {
+			src := lang.WECCount().Sources(benchProcs, 1)[0]
+			for i := 0; i < b.N; i++ {
+				runTimedMonitor(func(*adversary.Timed) monitor.Monitor {
+					return monitor.Constant(monitor.Yes)
+				}, src.New(), kind, 1, 10_000)
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------- Figure 7
+
+// BenchmarkFig7_Sketch measures reconstructing x~(E) from views as the
+// history grows.
+func BenchmarkFig7_Sketch(b *testing.B) {
+	for _, steps := range []int{500, 2_000, 8_000} {
+		b.Run(fmt.Sprintf("steps-%d", steps), func(b *testing.B) {
+			src := lang.LinReg().Sources(benchProcs, 1)[0]
+			res := runTimedMonitor(func(*adversary.Timed) monitor.Monitor {
+				return monitor.Constant(monitor.Yes)
+			}, src.New(), adversary.ArrayAtomic, 1, steps)
+			triples := res.Triples(-1)
+			resolve := func(id word.OpID) word.Symbol {
+				if id.Idx < len(res.Invs[id.Proc]) {
+					return res.Invs[id.Proc][id.Idx]
+				}
+				// Announced but still pending when the run was cut off; the
+				// symbol's content is irrelevant to the build's cost.
+				return word.NewInv(id.Proc, "read", nil)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sketch.Build(benchProcs, triples, resolve); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------- Figure 8
+
+// BenchmarkFig8_LinMonitor measures V_O on the register and the ledger, and
+// the array-kind ablation. Runs are short: the monitor re-checks a growing
+// history every round.
+func BenchmarkFig8_LinMonitor(b *testing.B) {
+	for _, obj := range []spec.Object{spec.Register(), spec.Ledger()} {
+		for _, kind := range []adversary.ArrayKind{adversary.ArrayAtomic, adversary.ArrayAADGMS} {
+			b.Run(obj.Name()+"-"+kindName(kind), func(b *testing.B) {
+				var l lang.Lang
+				if obj.Name() == "register" {
+					l = lang.LinReg()
+				} else {
+					l = lang.LinLed()
+				}
+				src := l.Sources(benchProcs, 1)[0]
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					runTimedMonitor(func(tau *adversary.Timed) monitor.Monitor {
+						return monitor.NewLin(obj, tau, kind)
+					}, src.New(), kind, 1, 1_200)
+				}
+			})
+		}
+	}
+}
+
+// ---------------------------------------------------------------- Figure 9
+
+// BenchmarkFig9_SECMonitor measures the Figure 9 monitor with its clause-4
+// view test.
+func BenchmarkFig9_SECMonitor(b *testing.B) {
+	for _, kind := range []adversary.ArrayKind{adversary.ArrayAtomic, adversary.ArrayAADGMS} {
+		b.Run(kindName(kind), func(b *testing.B) {
+			src := lang.SECCount().Sources(benchProcs, 1)[0]
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				runTimedMonitor(func(tau *adversary.Timed) monitor.Monitor {
+					return monitor.NewSEC(tau, kind)
+				}, src.New(), kind, 1, 2_000)
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------- theorems
+
+// BenchmarkLemma51_Swap measures the full Lemma 5.1 construction (two
+// scheduled executions plus the indistinguishability comparison).
+func BenchmarkLemma51_Swap(b *testing.B) {
+	l := experiment.Lemma51{Rounds: 8}
+	m := monitor.NewNaiveOrder(spec.Register(), adversary.ArrayAtomic)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := l.Verify(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTheorem52_ShuffleWalk measures the execution-triple chain on the
+// Appendix A ledger witness.
+func BenchmarkTheorem52_ShuffleWalk(b *testing.B) {
+	l := lang.LinLed()
+	alpha := appendixAlpha()
+	target := appendixTarget()
+	m := monitor.NewNaiveOrder(spec.Ledger(), adversary.ArrayAtomic)
+	_ = l
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.RunWalk(m, benchProcs, alpha, target); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// appendixAlpha rebuilds the Appendix A witness word for 3 processes.
+func appendixAlpha() word.Word {
+	bld := word.NewB()
+	recs := make(word.Seq, 0, benchProcs)
+	for p := 0; p < benchProcs; p++ {
+		r := word.Rec(fmt.Sprintf("%d", p))
+		recs = append(recs, r)
+		bld.Op(p, spec.OpAppend, r, word.Unit{})
+	}
+	bld.Op(benchProcs-1, spec.OpGet, nil, recs)
+	return bld.Word()
+}
+
+// appendixTarget moves process 0's append after the get — the violating
+// shuffle of Appendix A.
+func appendixTarget() word.Word {
+	alpha := appendixAlpha()
+	out := make(word.Word, 0, len(alpha))
+	out = append(out, alpha[2:]...)
+	out = append(out, alpha[0], alpha[1])
+	return out
+}
+
+// BenchmarkLemma65_Alternation measures the EC_LED attack.
+func BenchmarkLemma65_Alternation(b *testing.B) {
+	l := experiment.Lemma65{N: 2, Stages: 3}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := l.Verify(func(*adversary.Timed) monitor.Monitor {
+			return monitor.NewECLed(adversary.ArrayAtomic)
+		}, adversary.ArrayAtomic); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------- porting
+
+// BenchmarkABD_Register measures the message-passing register emulation:
+// operations per second as the process count (and quorum size) grows.
+func BenchmarkABD_Register(b *testing.B) {
+	for _, n := range []int{3, 5, 7} {
+		b.Run(fmt.Sprintf("n-%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				rt := sched.New(n, sched.Random(1))
+				nt := msgnet.New(n, msgnet.RandomOrder(1))
+				nt.Register(rt)
+				reg := abd.NewRegister("x", n, nt, 0)
+				svc := sut.NewService(n, abd.NewRegisterImpl(reg),
+					sut.NewRandomWorkload(spec.Register(), n, 4, 0.5, 1))
+				done := make([]bool, n)
+				for id := 0; id < n; id++ {
+					id := id
+					rt.Spawn(id, func(p *sched.Proc) {
+						for {
+							v, ok := svc.NextInv(p.ID)
+							if !ok {
+								done[id] = true
+								for {
+									if !reg.Serve(p) {
+										p.Pause()
+									}
+								}
+							}
+							svc.Send(p, v)
+							svc.Recv(p)
+						}
+					})
+				}
+				for rt.Steps() < 3_000_000 {
+					all := true
+					for _, d := range done {
+						if !d {
+							all = false
+							break
+						}
+					}
+					if all || !rt.Step() {
+						break
+					}
+				}
+				rt.Stop()
+			}
+		})
+	}
+}
+
+// BenchmarkSUT_EndToEnd measures full-stack monitoring of deployed
+// implementations: SUT + Aτ + Figure 8.
+func BenchmarkSUT_EndToEnd(b *testing.B) {
+	impls := []struct {
+		name string
+		mk   func() sut.Impl
+	}{
+		{"atomic", func() sut.Impl { return sut.NewAtomicRegister() }},
+		{"stale", func() sut.Impl { return sut.NewStaleRegister(benchProcs, 3) }},
+	}
+	for _, impl := range impls {
+		b.Run(impl.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				svc := sut.NewService(benchProcs, impl.mk(),
+					sut.NewRandomWorkload(spec.Register(), benchProcs, 6, 0.5, 1))
+				tau := adversary.NewTimed(benchProcs, svc, adversary.ArrayAtomic)
+				monitor.Run(monitor.Config{
+					N:       benchProcs,
+					Monitor: monitor.NewLin(spec.Register(), tau, adversary.ArrayAtomic),
+					NewService: func(rt *sched.Runtime) (adversary.Service, []int) {
+						return tau, nil
+					},
+					Policy: func([]int) sched.Policy {
+						return sched.Random(1)
+					},
+					MaxSteps: 60_000,
+				})
+			}
+		})
+	}
+}
+
+// kindName mirrors the monitor package's rendering for sub-benchmark names.
+func kindName(kind adversary.ArrayKind) string {
+	switch kind {
+	case adversary.ArrayAADGMS:
+		return "aadgms"
+	case adversary.ArrayCollect:
+		return "collect"
+	default:
+		return "atomic"
+	}
+}

@@ -1,0 +1,118 @@
+// Command drvmon re-checks recorded traces offline: it reads a JSON-lines
+// trace (from drvtrace) and runs the language's consistency checkers over
+// the recorded word — the safety clauses, the convergence diagnostics, and
+// for the register/ledger languages the full linearizability and sequential
+// consistency searches. The verdict is compared against the trace's
+// ground-truth label when one is present.
+//
+// Usage:
+//
+//	drvmon [-lang LANG] trace.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/drv-go/drv/internal/check"
+	"github.com/drv-go/drv/internal/lang"
+	"github.com/drv-go/drv/internal/spec"
+	"github.com/drv-go/drv/internal/trace"
+	"github.com/drv-go/drv/internal/word"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	langName := flag.String("lang", "", "language to check against (default: the trace's own)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: drvmon [-lang LANG] trace.jsonl")
+		return 2
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "open: %v\n", err)
+		return 1
+	}
+	defer f.Close()
+	tr, err := trace.Read(f)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "parse: %v\n", err)
+		return 1
+	}
+
+	name := *langName
+	if name == "" {
+		name = tr.Meta.Lang
+	}
+	if name == "" {
+		fmt.Fprintln(os.Stderr, "trace has no language; pass -lang")
+		return 2
+	}
+	var l lang.Lang
+	found := false
+	for _, cand := range lang.All() {
+		if cand.Name == name {
+			l, found = cand, true
+			break
+		}
+	}
+	if !found {
+		fmt.Fprintf(os.Stderr, "unknown language %q\n", name)
+		return 2
+	}
+
+	fmt.Printf("trace: %d symbols, %d processes, language %s\n", len(tr.Word), tr.Meta.N, name)
+	violated := l.SafetyViolated(tr.Word)
+	fmt.Printf("safety clauses: violated=%v\n", violated)
+	printDiagnostics(name, tr.Word)
+
+	if tr.Meta.Member != nil {
+		fmt.Printf("ground truth (ω-word): in-language=%v\n", *tr.Meta.Member)
+		if *tr.Meta.Member && violated {
+			fmt.Println("MISMATCH: safety violation on an in-language trace")
+			return 1
+		}
+		if !*tr.Meta.Member && !violated {
+			fmt.Println("note: no prefix violation found — the word's badness is a liveness property (see the convergence diagnostics)")
+		}
+	}
+	return 0
+}
+
+// printDiagnostics runs the language-specific extra checkers.
+func printDiagnostics(name string, w word.Word) {
+	switch name {
+	case "LIN_REG", "SC_REG":
+		fmt.Printf("linearizable (register): %v\n", check.Linearizable(spec.Register(), w))
+		fmt.Printf("seq. consistent (register): %v\n", check.SeqConsistent(spec.Register(), w))
+	case "LIN_LED", "SC_LED":
+		fmt.Printf("linearizable (ledger): %v\n", check.Linearizable(spec.Ledger(), w))
+		fmt.Printf("seq. consistent (ledger): %v\n", check.SeqConsistent(spec.Ledger(), w))
+	case "EC_LED":
+		if v := check.ECLedgerSafety(w); v != nil {
+			fmt.Printf("EC ordering clause: violated (%v)\n", v)
+		} else {
+			fmt.Println("EC ordering clause: ok")
+		}
+		fmt.Printf("EC convergence (quiescent tail): %v\n", check.ECLedgerConverges(w))
+	case "WEC_COUNT", "SEC_COUNT":
+		if v := check.WECSafety(w); v != nil {
+			fmt.Printf("WEC safety: violated (%v)\n", v)
+		} else {
+			fmt.Println("WEC safety: ok")
+		}
+		if name == "SEC_COUNT" {
+			if v := check.SECSafety(w); v != nil {
+				fmt.Printf("SEC safety (clause 4): violated (%v)\n", v)
+			} else {
+				fmt.Println("SEC safety (clause 4): ok")
+			}
+		}
+		fmt.Printf("counter convergence (quiescent tail): %v\n", check.Converges(w))
+	}
+}

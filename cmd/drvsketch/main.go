@@ -1,0 +1,92 @@
+// Command drvsketch reproduces Figure 7: it runs the predictive monitor V_O
+// against the timed adversary Aτ on a register behaviour, reconstructs the
+// sketch x~(E) from the views (Appendix B), and renders both the input word
+// x(E) and the sketch as ASCII interval diagrams, making the "shrinking" of
+// operations visible.
+//
+// Usage:
+//
+//	drvsketch [-n 3] [-seed 1] [-steps 600] [-source name] [-kind atomic|aadgms|collect]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/drv-go/drv/internal/adversary"
+	"github.com/drv-go/drv/internal/lang"
+	"github.com/drv-go/drv/internal/monitor"
+	"github.com/drv-go/drv/internal/sched"
+	"github.com/drv-go/drv/internal/sketch"
+	"github.com/drv-go/drv/internal/spec"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	n := flag.Int("n", 3, "process count (Figure 7 uses 3)")
+	seed := flag.Int64("seed", 1, "schedule seed")
+	steps := flag.Int("steps", 600, "scheduler step bound")
+	source := flag.String("source", "", "register behaviour source (default: first; see drvtrace -list -lang LIN_REG)")
+	kindName := flag.String("kind", "atomic", "announcement array kind: atomic, aadgms or collect")
+	flag.Parse()
+
+	var kind adversary.ArrayKind
+	switch *kindName {
+	case "atomic":
+		kind = adversary.ArrayAtomic
+	case "aadgms":
+		kind = adversary.ArrayAADGMS
+	case "collect":
+		kind = adversary.ArrayCollect
+	default:
+		fmt.Fprintf(os.Stderr, "unknown array kind %q\n", *kindName)
+		return 2
+	}
+
+	sources := lang.LinReg().Sources(*n, *seed)
+	var chosen *adversary.Labeled
+	for i := range sources {
+		if *source == "" || sources[i].Name == *source {
+			chosen = &sources[i]
+			break
+		}
+	}
+	if chosen == nil {
+		fmt.Fprintf(os.Stderr, "unknown source %q\n", *source)
+		return 2
+	}
+
+	adv := adversary.NewA(*n, chosen.New())
+	tau := adversary.NewTimed(*n, adv, kind)
+	res := monitor.Run(monitor.Config{
+		N:       *n,
+		Monitor: monitor.NewLin(spec.Register(), tau, kind),
+		NewService: func(rt *sched.Runtime) (adversary.Service, []int) {
+			return tau, []int{adv.Register(rt)}
+		},
+		Policy: func(aux []int) sched.Policy {
+			return sched.Biased(*seed, aux[0], 0.5)
+		},
+		MaxSteps: *steps,
+	})
+
+	sk, err := res.Sketch(*n, tau)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sketch reconstruction: %v\n", err)
+		if kind == adversary.ArrayCollect {
+			fmt.Fprintln(os.Stderr, "(collect views need not be totally ordered — this is the Section 6.2 caveat)")
+		}
+		return 1
+	}
+	fmt.Printf("behaviour: %s/%s (in LIN_REG: %v), %d processes, seed %d\n\n",
+		lang.LinReg().Name, chosen.Name, chosen.In, *n, *seed)
+	fmt.Print(sketch.RenderComparison(res.History, sk))
+
+	noTotal := res.TotalNO()
+	fmt.Printf("\nmonitor verdicts: %d NO reports across %d processes\n", noTotal, *n)
+	return 0
+}

@@ -1,0 +1,116 @@
+// Command drvtrace generates labelled behaviour traces: it runs one of a
+// language's behaviour sources against the adversary A under a seeded
+// schedule and writes the exhibited word — with its ground-truth membership
+// label — as a JSON-lines trace, ready for offline re-checking with drvmon.
+//
+// Usage:
+//
+//	drvtrace -lang WEC_COUNT [-list] [-source name] [-n 3] [-seed 1] [-steps 20000] [-o out.jsonl]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/drv-go/drv/internal/adversary"
+	"github.com/drv-go/drv/internal/lang"
+	"github.com/drv-go/drv/internal/monitor"
+	"github.com/drv-go/drv/internal/sched"
+	"github.com/drv-go/drv/internal/trace"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	langName := flag.String("lang", "WEC_COUNT", "language: LIN_REG, SC_REG, LIN_LED, SC_LED, EC_LED, WEC_COUNT, SEC_COUNT")
+	list := flag.Bool("list", false, "list the language's behaviour sources and exit")
+	source := flag.String("source", "", "behaviour source name (default: first source)")
+	n := flag.Int("n", 3, "process count")
+	seed := flag.Int64("seed", 1, "schedule and workload seed")
+	steps := flag.Int("steps", 20_000, "scheduler step bound")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	var l lang.Lang
+	found := false
+	for _, cand := range lang.All() {
+		if cand.Name == *langName {
+			l, found = cand, true
+			break
+		}
+	}
+	if !found {
+		fmt.Fprintf(os.Stderr, "unknown language %q\n", *langName)
+		return 2
+	}
+
+	sources := l.Sources(*n, *seed)
+	if *list {
+		fmt.Printf("sources of %s (n=%d, seed=%d):\n", l.Name, *n, *seed)
+		for _, lb := range sources {
+			fmt.Printf("  %-20s in-language: %v\n", lb.Name, lb.In)
+		}
+		return 0
+	}
+	var chosen *adversary.Labeled
+	for i := range sources {
+		if *source == "" || sources[i].Name == *source {
+			chosen = &sources[i]
+			break
+		}
+	}
+	if chosen == nil {
+		fmt.Fprintf(os.Stderr, "unknown source %q (use -list)\n", *source)
+		return 2
+	}
+
+	adv := adversary.NewA(*n, chosen.New())
+	res := monitor.Run(monitor.Config{
+		N:       *n,
+		Monitor: monitor.Constant(monitor.Yes),
+		NewService: func(rt *sched.Runtime) (adversary.Service, []int) {
+			return adv, []int{adv.Register(rt)}
+		},
+		Policy: func(aux []int) sched.Policy {
+			return sched.Biased(*seed, aux[0], 0.5)
+		},
+		MaxSteps: *steps,
+	})
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "create %s: %v\n", *out, err)
+			return 1
+		}
+		defer f.Close()
+		w = f
+	}
+	tw := trace.NewWriter(w)
+	member := chosen.In
+	if err := tw.WriteMeta(trace.Meta{
+		N:      *n,
+		Lang:   l.Name,
+		Member: &member,
+		Seed:   *seed,
+		Note:   "source=" + chosen.Name,
+	}); err != nil {
+		fmt.Fprintf(os.Stderr, "write meta: %v\n", err)
+		return 1
+	}
+	if err := tw.WriteWord(res.History); err != nil {
+		fmt.Fprintf(os.Stderr, "write trace: %v\n", err)
+		return 1
+	}
+	if err := tw.Flush(); err != nil {
+		fmt.Fprintf(os.Stderr, "flush: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d symbols of %s/%s (in-language: %v)\n",
+		len(res.History), l.Name, chosen.Name, chosen.In)
+	return 0
+}

@@ -1,0 +1,40 @@
+// Package drv is an executable reproduction of "Asynchronous Fault-Tolerant
+// Language Decidability for Runtime Verification of Distributed Systems"
+// (Castañeda & Rodríguez, PODC 2025, arXiv:2502.00191): a framework for
+// distributed runtime verification in asynchronous, crash-prone,
+// shared-memory systems, together with the paper's monitors, adversaries,
+// decidability notions, and every possibility and impossibility result of
+// its Table 1 as machine-checked experiments.
+//
+// The library is organized bottom-up:
+//
+//   - internal/sched — the asynchronous computation model: crash-prone
+//     processes as goroutines under a deterministic cooperative scheduler.
+//   - internal/mem — the shared-memory substrate: atomic registers, arrays,
+//     snapshots (one-step and the AADGMS wait-free protocol), collects,
+//     test&set, compare&swap and consensus.
+//   - internal/word, internal/spec, internal/check, internal/lang — the
+//     distributed-language machinery of Section 2: alphabets, ω-word
+//     prefixes, sequential objects, consistency checkers, and the seven
+//     Table 1 languages with labelled behaviour generators.
+//   - internal/adversary — the adversary A (a word cursor realizing Claim
+//     3.1) and the timed adversary Aτ of Figure 6.
+//   - internal/sketch — the view-to-history construction x~(E) of Appendix B.
+//   - internal/monitor — the generic Figure 1 monitor loop, the stability
+//     transformations of Figures 2–4, and the concrete monitors of Figures
+//     5, 8 and 9, plus baselines (order-free, consensus-powered, 3-valued).
+//   - internal/core — the decidability notions SD, WD, PSD, PWD and the
+//     real-time obliviousness characterization of Theorem 5.2.
+//   - internal/experiment — the proofs as executable constructions: the
+//     Lemma 5.1 swap, the prefix-extension attacks of Lemmas 5.2/6.2, the
+//     Theorem 5.2 shuffle walk, the Lemma 6.5 alternation attack, and the
+//     complete Table 1 harness.
+//   - internal/sut — real object implementations (correct and seeded-bug)
+//     monitored end to end; internal/msgnet and internal/abd port the stack
+//     to message passing via the ABD register emulation.
+//
+// The cmd directory holds the reproduction tools (drvtable, drvtrace,
+// drvmon, drvsketch); examples holds five runnable walkthroughs. The root
+// bench and test files regenerate every table and figure of the paper; see
+// DESIGN.md for the experiment index and EXPERIMENTS.md for results.
+package drv

@@ -1,0 +1,61 @@
+// Eventual-ledger example: the Lemma 6.5 alternation attack, live.
+//
+// EC_LED — the eventually consistent ledger — is undecidable under every
+// notion the paper defines, including the weakest predictive one. This
+// program mounts the attack on a concrete, plausible candidate monitor: the
+// behaviour alternates divergence phases (a fresh append stays invisible to
+// gets) with convergence phases (gets catch up). The word stays inside
+// EC_LED — every record eventually appears and gets always form a chain —
+// yet every process is forced to report NO in every divergence phase, so NO
+// counts grow without bound, and because the executions are tight
+// (x(E) = x~(E)) the predictive escape clause cannot justify them.
+//
+// Run with:
+//
+//	go run ./examples/eventualledger
+package main
+
+import (
+	"fmt"
+
+	"github.com/drv-go/drv/internal/adversary"
+	"github.com/drv-go/drv/internal/experiment"
+	"github.com/drv-go/drv/internal/monitor"
+)
+
+func main() {
+	attack := experiment.Lemma65{N: 2, Stages: 4, BadRounds: 3, GoodRounds: 3}
+	res, err := attack.Run(func(*adversary.Timed) monitor.Monitor {
+		return monitor.NewECLed(adversary.ArrayAtomic)
+	}, adversary.ArrayAtomic)
+	if err != nil {
+		fmt.Println("attack construction failed:", err)
+		return
+	}
+
+	fmt.Println("Lemma 6.5: EC_LED is not predictively weakly decidable")
+	fmt.Println()
+	fmt.Printf("staged behaviour: %d symbols, %d divergence/convergence alternations\n",
+		len(res.Word), attack.Stages)
+	fmt.Printf("EC ordering clause holds on the whole word: %v\n", res.SafetyOK)
+	fmt.Printf("gets converge in the tail (word is in EC_LED):  %v\n", res.Converges)
+	fmt.Printf("execution tight, x(E) = x~(E) (no escape):      %v\n", res.TightSketch)
+	fmt.Println()
+	fmt.Println("NO reports per phase (rows: phases; columns: processes):")
+	for _, ph := range res.Phases {
+		kind := "converge"
+		if ph.Bad {
+			kind = "DIVERGE "
+		}
+		fmt.Printf("  stage %d %s  NOs=%v\n", ph.Stage, kind, ph.NOs)
+	}
+	fmt.Println()
+	if res.MinStageNOs >= 1 {
+		fmt.Printf("every process reported ≥%d NO in every divergence stage: along this\n", res.MinStageNOs)
+		fmt.Println("in-language behaviour the NO counts grow without bound — the monitor fails")
+		fmt.Println("predictive weak decidability, as Lemma 6.5 proves every monitor must.")
+	} else {
+		fmt.Println("the candidate monitor slept through a divergence phase — it instead fails")
+		fmt.Println("by missing the divergence on the never-converging word.")
+	}
+}

@@ -1,0 +1,81 @@
+// Linearizability example: predictive monitoring of real register
+// implementations with the Figure 8 monitor V_O.
+//
+// Three monitor processes drive a register implementation through the timed
+// adversary wrapper Aτ (Figure 6) and check, after every operation, whether
+// the history reconstructed from views is linearizable. The correct atomic
+// register passes; the stale-cache register — whose bug is invisible to any
+// monitor without timing information (Theorem 5.2) — is caught.
+//
+// Run with:
+//
+//	go run ./examples/linearizability
+package main
+
+import (
+	"fmt"
+
+	"github.com/drv-go/drv/internal/adversary"
+	"github.com/drv-go/drv/internal/monitor"
+	"github.com/drv-go/drv/internal/sched"
+	"github.com/drv-go/drv/internal/spec"
+	"github.com/drv-go/drv/internal/sut"
+)
+
+func main() {
+	const (
+		procs      = 3
+		opsPerProc = 8
+		steps      = 100_000
+	)
+
+	// Fresh implementation per run: registers keep their cell contents, so
+	// reusing one across runs would make later reads look stale against the
+	// specification's initial state.
+	impls := []struct {
+		name string
+		mk   func() sut.Impl
+	}{
+		{"register/atomic", func() sut.Impl { return sut.NewAtomicRegister() }},
+		{"register/stale-3", func() sut.Impl { return sut.NewStaleRegister(procs, 3) }},
+		{"register/split", func() sut.Impl { return sut.NewSplitRegister(procs) }},
+	}
+	fmt.Println("Figure 8 monitor V_O, predictively deciding LIN_REG on deployed implementations")
+	fmt.Println()
+
+	for _, impl := range impls {
+		caught := false
+		var lastNOs int
+		for seed := int64(1); seed <= 5; seed++ {
+			// The implementation is wrapped in the timed adversary Aτ so
+			// responses carry views; monitors reconstruct the history sketch
+			// from them (Appendix B).
+			svc := sut.NewService(procs, impl.mk(), sut.NewRandomWorkload(spec.Register(), procs, opsPerProc, 0.5, seed))
+			tau := adversary.NewTimed(procs, svc, adversary.ArrayAtomic)
+			res := monitor.Run(monitor.Config{
+				N:       procs,
+				Monitor: monitor.NewLin(spec.Register(), tau, adversary.ArrayAtomic),
+				NewService: func(rt *sched.Runtime) (adversary.Service, []int) {
+					return tau, nil
+				},
+				Policy: func([]int) sched.Policy {
+					return sched.Random(seed)
+				},
+				MaxSteps: steps,
+			})
+			lastNOs = res.TotalNO()
+			if lastNOs > 0 {
+				caught = true
+				break
+			}
+		}
+		verdict := "linearizable on all schedules tried"
+		if caught {
+			verdict = fmt.Sprintf("NOT linearizable — monitor reported %d NOs", lastNOs)
+		}
+		fmt.Printf("%-22s → %s\n", impl.name, verdict)
+	}
+	fmt.Println()
+	fmt.Println("note: the stale and split registers return only genuinely-written values —")
+	fmt.Println("order-free monitors accept them; only the views expose the real-time violation.")
+}

@@ -1,0 +1,39 @@
+package abd
+
+import (
+	"fmt"
+
+	"github.com/drv-go/drv/internal/sched"
+	"github.com/drv-go/drv/internal/spec"
+	"github.com/drv-go/drv/internal/sut"
+	"github.com/drv-go/drv/internal/word"
+)
+
+// RegisterImpl adapts an emulated register to the sut.Impl interface, so the
+// whole monitoring stack — workloads, history recording, the timed adversary
+// Aτ, the predictive monitors — runs over message passing unchanged. This is
+// the package-level deliverable of the paper's porting remark.
+type RegisterImpl struct {
+	reg *Register
+}
+
+var _ sut.Impl = (*RegisterImpl)(nil)
+
+// NewRegisterImpl wraps an emulated register.
+func NewRegisterImpl(reg *Register) *RegisterImpl { return &RegisterImpl{reg: reg} }
+
+// Name implements sut.Impl.
+func (r *RegisterImpl) Name() string { return "register/abd" }
+
+// Invoke implements sut.Impl.
+func (r *RegisterImpl) Invoke(p *sched.Proc, op string, arg word.Value) word.Value {
+	switch op {
+	case spec.OpWrite:
+		r.reg.Write(p, int64(arg.(word.Int)))
+		return word.Unit{}
+	case spec.OpRead:
+		return word.Int(r.reg.Read(p))
+	default:
+		panic(fmt.Sprintf("abd: register does not implement %q", op))
+	}
+}

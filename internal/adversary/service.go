@@ -1,0 +1,92 @@
+// Package adversary implements the distributed services that monitors
+// interact with in Lines 03–04 of the generic algorithm (Figure 1): the
+// asynchronous adversary A — a word cursor that can exhibit any well-formed
+// behaviour, realizing Claim 3.1 — and the timed adversary Aτ of Section 6.1
+// (Figure 6), which wraps any service in the announce/snapshot protocol that
+// attaches views to responses.
+package adversary
+
+import (
+	"github.com/drv-go/drv/internal/sched"
+	"github.com/drv-go/drv/internal/word"
+)
+
+// Response is what a process receives back from the service in Line 04: the
+// response symbol, and — when the service is a timed adversary — the view
+// attached to it, plus the operation identifier the service assigned to the
+// interaction.
+type Response struct {
+	Sym word.Symbol
+	// ID tags the operation this response completes; unique per execution.
+	ID word.OpID
+	// View is non-nil only for timed services.
+	View *View
+}
+
+// Service is a distributed service under inspection, from the point of view
+// of one monitor process: an oracle for the process's next invocation
+// (Line 01 — in the model the adversary determines what processes send), a
+// send operation (Line 03) and a receive operation (Line 04). All methods
+// with a Proc consume scheduler steps; NextInv is local.
+type Service interface {
+	// NextInv returns the next invocation symbol process id must send, or
+	// ok=false when the service's behaviour script is exhausted and the
+	// process should stop iterating (finite experiment prefix).
+	NextInv(id int) (word.Symbol, bool)
+	// Send transmits the invocation to the service; blocks (gated) until the
+	// service absorbs it, which is the send event of the execution.
+	Send(p *sched.Proc, v word.Symbol)
+	// Recv blocks until the service delivers the response to the process's
+	// outstanding invocation and returns it.
+	Recv(p *sched.Proc) Response
+	// History returns the input word x(E) emitted so far: the subsequence of
+	// send/receive events in global real-time order. Call only between steps
+	// or after the run.
+	History() word.Word
+}
+
+// Source supplies the ω-word a word-cursor adversary exhibits, one symbol at
+// a time. Implementations must produce well-formed sequences (per-process
+// alternation); Next is called at most once per position.
+type Source interface {
+	// Next returns the symbol at the current position and advances, or
+	// ok=false if the source is a finite script that has ended.
+	Next() (word.Symbol, bool)
+}
+
+// ScriptSource replays a fixed finite word.
+type ScriptSource struct {
+	w   word.Word
+	pos int
+}
+
+// NewScriptSource returns a source that emits exactly w and then ends.
+func NewScriptSource(w word.Word) *ScriptSource { return &ScriptSource{w: w} }
+
+// Next implements Source.
+func (s *ScriptSource) Next() (word.Symbol, bool) {
+	if s.pos >= len(s.w) {
+		return word.Symbol{}, false
+	}
+	sym := s.w[s.pos]
+	s.pos++
+	return sym, true
+}
+
+// FuncSource adapts a generator function to a Source.
+type FuncSource func() (word.Symbol, bool)
+
+// Next implements Source.
+func (f FuncSource) Next() (word.Symbol, bool) { return f() }
+
+// Labeled couples a source with ground truth about the infinite word it
+// samples: whether that word belongs to the language under verification.
+// Finite runs cannot decide ω-membership, so possibility experiments carry
+// the label alongside the behaviour.
+type Labeled struct {
+	Name string
+	// In reports membership of the full ω-word in the language.
+	In bool
+	// New returns a fresh source emitting the word from the start.
+	New func() Source
+}

@@ -1,0 +1,122 @@
+package check
+
+import (
+	"testing"
+
+	"github.com/drv-go/drv/internal/spec"
+	"github.com/drv-go/drv/internal/word"
+)
+
+func TestECLedgerSafety(t *testing.T) {
+	tests := []struct {
+		name     string
+		w        word.Word
+		violates bool
+	}{
+		{"empty", word.Word{}, false},
+		{
+			"lemma 6.5 prefix: append then empty gets",
+			// append(a) completes, gets return ε: clause (1) holds because
+			// the append can be permuted after the gets. (Clause (2) is what
+			// fails in the limit.)
+			word.NewB().
+				Op(0, spec.OpAppend, word.Rec("a"), word.Unit{}).
+				Op(1, spec.OpGet, word.Unit{}, word.Seq{}).
+				Op(0, spec.OpGet, word.Unit{}, word.Seq{}).Word(),
+			false,
+		},
+		{
+			"chained gets",
+			word.NewB().
+				Op(0, spec.OpAppend, word.Rec("a"), word.Unit{}).
+				Op(1, spec.OpGet, word.Unit{}, word.Seq{"a"}).
+				Op(0, spec.OpAppend, word.Rec("b"), word.Unit{}).
+				Op(1, spec.OpGet, word.Unit{}, word.Seq{"a", "b"}).Word(),
+			false,
+		},
+		{
+			"incomparable gets",
+			// One get saw a-then-b, another saw b alone: no single append
+			// order explains both.
+			word.NewB().
+				Op(0, spec.OpAppend, word.Rec("a"), word.Unit{}).
+				Op(0, spec.OpAppend, word.Rec("b"), word.Unit{}).
+				Op(1, spec.OpGet, word.Unit{}, word.Seq{"a", "b"}).
+				Op(2, spec.OpGet, word.Unit{}, word.Seq{"b"}).Word(),
+			true,
+		},
+		{
+			"get returns phantom record",
+			word.NewB().
+				Op(1, spec.OpGet, word.Unit{}, word.Seq{"ghost"}).Word(),
+			true,
+		},
+		{
+			"get doubles a single append",
+			word.NewB().
+				Op(0, spec.OpAppend, word.Rec("a"), word.Unit{}).
+				Op(1, spec.OpGet, word.Unit{}, word.Seq{"a", "a"}).Word(),
+			true,
+		},
+		{
+			"pending append visible",
+			word.NewB().
+				Inv(0, spec.OpAppend, word.Rec("a")).
+				Word().Append(
+				word.NewInv(1, spec.OpGet, word.Unit{}),
+				word.NewRes(1, spec.OpGet, word.Seq{"a"})),
+			false,
+		},
+		{
+			"duplicate appends allow duplicate records",
+			word.NewB().
+				Op(0, spec.OpAppend, word.Rec("a"), word.Unit{}).
+				Op(1, spec.OpAppend, word.Rec("a"), word.Unit{}).
+				Op(2, spec.OpGet, word.Unit{}, word.Seq{"a", "a"}).Word(),
+			false,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			v := ECLedgerSafety(tt.w)
+			if (v != nil) != tt.violates {
+				t.Errorf("ECLedgerSafety = %v, want violation=%v", v, tt.violates)
+			}
+		})
+	}
+}
+
+func TestECLedgerSafetyAgreesWithSC(t *testing.T) {
+	// Every sequentially consistent ledger word satisfies EC clause (1),
+	// since an SC witness is in particular a valid permutation.
+	words := []word.Word{
+		word.NewB().
+			Op(0, spec.OpAppend, word.Rec("a"), word.Unit{}).
+			Op(1, spec.OpGet, word.Unit{}, word.Seq{"a"}).Word(),
+		word.NewB().
+			Op(0, spec.OpAppend, word.Rec("a"), word.Unit{}).
+			Op(1, spec.OpGet, word.Unit{}, word.Seq{}).Word(),
+	}
+	l := spec.Ledger()
+	for _, w := range words {
+		if SeqConsistent(l, w) && ECLedgerSafety(w) != nil {
+			t.Errorf("SC word violates EC clause (1): %v", w)
+		}
+	}
+}
+
+func TestECLedgerConverges(t *testing.T) {
+	conv := word.NewB().
+		Op(0, spec.OpAppend, word.Rec("a"), word.Unit{}).
+		Op(1, spec.OpGet, word.Unit{}, word.Seq{}).
+		Op(1, spec.OpGet, word.Unit{}, word.Seq{"a"}).Word()
+	if !ECLedgerConverges(conv) {
+		t.Error("converged ledger trace reported diverging")
+	}
+	div := word.NewB().
+		Op(0, spec.OpAppend, word.Rec("a"), word.Unit{}).
+		Op(1, spec.OpGet, word.Unit{}, word.Seq{}).Word()
+	if ECLedgerConverges(div) {
+		t.Error("diverging ledger trace reported converged")
+	}
+}

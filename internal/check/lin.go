@@ -1,0 +1,156 @@
+// Package check implements the consistency checkers behind the paper's
+// distributed languages: linearizability [31] and sequential consistency [34]
+// for arbitrary sequential objects (Definitions 2.3–2.6), the weak and strong
+// eventual counter properties (Definitions 2.7–2.8), and the eventual ledger
+// (Definition 2.9).
+//
+// Linearizability and sequential consistency share one memoized
+// Wing–Gill-style search: a concurrent history is accepted iff the complete
+// operations (plus any subset of pending ones, which may be assigned their
+// specification response) admit a valid sequential order that extends a
+// required partial order — process order ∪ real-time order for
+// linearizability, process order alone for sequential consistency.
+package check
+
+import (
+	"strings"
+
+	"github.com/drv-go/drv/internal/spec"
+	"github.com/drv-go/drv/internal/word"
+)
+
+// Linearizable reports whether the finite word is linearizable with respect
+// to the sequential object (Definitions 2.4/2.6 and, for any object O,
+// Section 6.2's LIN_O): responses may be appended to pending operations (the
+// object's specification determines the appended value), remaining pending
+// operations are removed, and the complete operations must admit a valid
+// sequential order that preserves real-time precedence.
+func Linearizable(obj spec.Object, w word.Word) bool {
+	return LinearizableOps(obj, word.Operations(w))
+}
+
+// LinearizableOps is Linearizable on pre-extracted operations. Operations
+// must carry the invocation/response indices assigned by word.Operations or
+// an order-isomorphic embedding.
+func LinearizableOps(obj spec.Object, ops []word.Operation) bool {
+	return validOrder(obj, ops, precedenceEdges(ops, true))
+}
+
+// SeqConsistent reports whether the finite word is sequentially consistent
+// with respect to the object (Definitions 2.3/2.5): like linearizability but
+// the sequential witness need only respect each process's own operation
+// order, not real-time.
+func SeqConsistent(obj spec.Object, w word.Word) bool {
+	return SeqConsistentOps(obj, word.Operations(w))
+}
+
+// SeqConsistentOps is SeqConsistent on pre-extracted operations.
+func SeqConsistentOps(obj spec.Object, ops []word.Operation) bool {
+	return validOrder(obj, ops, precedenceEdges(ops, false))
+}
+
+// precedenceEdges computes, for each operation, the indices of operations
+// that must be linearized before it: real-time predecessors when realTime is
+// set (which subsumes process order), otherwise same-process predecessors
+// only.
+func precedenceEdges(ops []word.Operation, realTime bool) [][]int {
+	prec := make([][]int, len(ops))
+	for i, oi := range ops {
+		for j, oj := range ops {
+			if i == j {
+				continue
+			}
+			if realTime {
+				if oj.Precedes(oi) {
+					prec[i] = append(prec[i], j)
+				}
+			} else if oj.ID.Proc == oi.ID.Proc && oj.ID.Idx < oi.ID.Idx {
+				prec[i] = append(prec[i], j)
+			}
+		}
+	}
+	return prec
+}
+
+// validOrder runs the memoized search for a sequential witness. An operation
+// is eligible once all operations in prec[i] are already placed; complete
+// operations must reproduce their recorded response, pending operations adopt
+// the specification's response or are dropped. Acceptance requires all
+// complete operations placed.
+func validOrder(obj spec.Object, ops []word.Operation, prec [][]int) bool {
+	n := len(ops)
+	if n == 0 {
+		return true
+	}
+	done := make([]bool, n)
+	completeLeft := 0
+	for _, o := range ops {
+		if !o.Pending() {
+			completeLeft++
+		}
+	}
+	// memo records (placed-set, state) pairs already proven fruitless.
+	memo := map[string]bool{}
+	maskBuf := make([]byte, (n+7)/8)
+
+	maskKey := func(stateKey string) string {
+		for i := range maskBuf {
+			maskBuf[i] = 0
+		}
+		for i, d := range done {
+			if d {
+				maskBuf[i/8] |= 1 << (i % 8)
+			}
+		}
+		var b strings.Builder
+		b.Grow(len(maskBuf) + 1 + len(stateKey))
+		b.Write(maskBuf)
+		b.WriteByte('/')
+		b.WriteString(stateKey)
+		return b.String()
+	}
+
+	var rec func(st spec.State) bool
+	rec = func(st spec.State) bool {
+		if completeLeft == 0 {
+			return true // remaining pending operations are dropped
+		}
+		key := maskKey(st.Key())
+		if memo[key] {
+			return false
+		}
+	next:
+		for i := range ops {
+			if done[i] {
+				continue
+			}
+			for _, j := range prec[i] {
+				if !done[j] {
+					continue next
+				}
+			}
+			o := &ops[i]
+			nxt, ret, ok := st.Apply(o.Op, o.Arg)
+			if !ok {
+				continue
+			}
+			if !o.Pending() && !ret.Equal(o.Ret) {
+				continue
+			}
+			done[i] = true
+			if !o.Pending() {
+				completeLeft--
+			}
+			if rec(nxt) {
+				return true
+			}
+			done[i] = false
+			if !o.Pending() {
+				completeLeft++
+			}
+		}
+		memo[key] = true
+		return false
+	}
+	return rec(obj.Init())
+}

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// fakeStats is a hand-built Stats for predicate tests: verdict tails are
+// encoded as per-process NO counts plus a tail flag.
+type fakeStats struct {
+	noCounts []int
+	noInTail []bool
+}
+
+func (f fakeStats) Procs() int             { return len(f.noCounts) }
+func (f fakeStats) NOCount(p int) int      { return f.noCounts[p] }
+func (f fakeStats) NOInTail(p, _ int) bool { return f.noInTail[p] }
+
+func TestClassString(t *testing.T) {
+	cases := map[Class]string{
+		SD: "SD", WAD: "WAD", WOD: "WOD", WD: "WD", PSD: "PSD", PWD: "PWD",
+	}
+	for c, want := range cases {
+		if got := c.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", c, got, want)
+		}
+	}
+	if got := Class(99).String(); !strings.Contains(got, "99") {
+		t.Errorf("unknown class renders %q", got)
+	}
+}
+
+func TestCheckSD(t *testing.T) {
+	ev := Eval{Class: SD, Window: 2}
+	// In language, no NOs: ok.
+	if err := ev.Check(fakeStats{[]int{0, 0}, []bool{false, false}}, true); err != nil {
+		t.Errorf("clean accept rejected: %v", err)
+	}
+	// In language, one NO anywhere: violation.
+	if err := ev.Check(fakeStats{[]int{1, 0}, []bool{false, false}}, true); err == nil {
+		t.Error("false negative accepted under SD")
+	}
+	// Out of language, no NOs at all: violation.
+	if err := ev.Check(fakeStats{[]int{0, 0}, []bool{false, false}}, false); err == nil {
+		t.Error("missed detection accepted under SD")
+	}
+	// Out of language, some NO: ok.
+	if err := ev.Check(fakeStats{[]int{0, 3}, []bool{false, true}}, false); err != nil {
+		t.Errorf("detection rejected: %v", err)
+	}
+}
+
+func TestCheckWDAndHalves(t *testing.T) {
+	wd := Eval{Class: WD, Window: 2}
+	// In language: transient NOs fine, tail NOs fatal.
+	if err := wd.Check(fakeStats{[]int{5, 5}, []bool{false, false}}, true); err != nil {
+		t.Errorf("transient NOs rejected: %v", err)
+	}
+	if err := wd.Check(fakeStats{[]int{5, 5}, []bool{false, true}}, true); err == nil {
+		t.Error("persistent NO on in-language word accepted under WD")
+	}
+	// Out of language: every process must keep NOing.
+	if err := wd.Check(fakeStats{[]int{5, 5}, []bool{true, true}}, false); err != nil {
+		t.Errorf("persistent rejection rejected: %v", err)
+	}
+	if err := wd.Check(fakeStats{[]int{5, 5}, []bool{true, false}}, false); err == nil {
+		t.Error("a process that stopped NOing accepted under WD")
+	}
+
+	// WAD: out-of-language needs only one persistent NOer.
+	wad := Eval{Class: WAD, Window: 2}
+	if err := wad.Check(fakeStats{[]int{5, 5}, []bool{true, false}}, false); err != nil {
+		t.Errorf("WAD rejected single persistent NOer: %v", err)
+	}
+	// WOD: in-language needs only one process that quiesced.
+	wod := Eval{Class: WOD, Window: 2}
+	if err := wod.Check(fakeStats{[]int{5, 5}, []bool{true, false}}, true); err != nil {
+		t.Errorf("WOD rejected single quiesced process: %v", err)
+	}
+	if err := wod.Check(fakeStats{[]int{5, 5}, []bool{true, true}}, true); err == nil {
+		t.Error("WOD accepted all-persistent NOs on in-language word")
+	}
+}
+
+func TestCheckPSD(t *testing.T) {
+	// In language with NOs: needs a justifying sketch.
+	justified := Eval{Class: PSD, Window: 2, SketchViolated: func() bool { return true }}
+	unjustified := Eval{Class: PSD, Window: 2, SketchViolated: func() bool { return false }}
+	st := fakeStats{[]int{1, 0}, []bool{false, false}}
+	if err := justified.Check(st, true); err != nil {
+		t.Errorf("justified false negative rejected: %v", err)
+	}
+	if err := unjustified.Check(st, true); err == nil {
+		t.Error("unjustified false negative accepted")
+	}
+	// Without a sketch check the evaluation must refuse.
+	bare := Eval{Class: PSD, Window: 2}
+	if err := bare.Check(st, true); err == nil {
+		t.Error("PSD evaluated without a sketch check")
+	}
+	// Clean accept needs no sketch.
+	if err := bare.Check(fakeStats{[]int{0, 0}, []bool{false, false}}, true); err != nil {
+		t.Errorf("clean accept rejected: %v", err)
+	}
+	// Out of language: at least one NO.
+	if err := bare.Check(fakeStats{[]int{0, 0}, []bool{false, false}}, false); err == nil {
+		t.Error("missed detection accepted under PSD")
+	}
+}
+
+func TestCheckPWD(t *testing.T) {
+	justified := Eval{Class: PWD, Window: 2, SketchViolated: func() bool { return true }}
+	unjustified := Eval{Class: PWD, Window: 2, SketchViolated: func() bool { return false }}
+	persistent := fakeStats{[]int{9, 9}, []bool{true, true}}
+	if err := justified.Check(persistent, true); err != nil {
+		t.Errorf("justified persistent NOs rejected: %v", err)
+	}
+	if err := unjustified.Check(persistent, true); err == nil {
+		t.Error("unjustified persistent NOs accepted")
+	}
+	// Out of language: every process must keep NOing.
+	if err := unjustified.Check(fakeStats{[]int{9, 9}, []bool{true, false}}, false); err == nil {
+		t.Error("PWD accepted a quiesced process on an out-of-language word")
+	}
+	if err := unjustified.Check(fakeStats{[]int{9, 9}, []bool{true, true}}, false); err != nil {
+		t.Errorf("PWD rejected persistent rejection: %v", err)
+	}
+}
+
+func TestCheckUnknownClass(t *testing.T) {
+	ev := Eval{Class: Class(42)}
+	if err := ev.Check(fakeStats{[]int{0}, []bool{false}}, true); err == nil {
+		t.Error("unknown class accepted")
+	}
+}

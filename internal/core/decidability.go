@@ -1,0 +1,224 @@
+// Package core implements the paper's primary contribution as executable
+// definitions: the decidability notions of Sections 4 and 6 — strong (Def
+// 4.1), weak (Defs 4.2–4.4), predictive strong (Def 6.1) and predictive weak
+// (Def 6.2) — evaluated over finite monitored executions, and the real-time
+// obliviousness characterization of Section 5.2 (Definition 5.3, Theorem
+// 5.2).
+//
+// Finite-run semantics for the ω-quantities: "NO(E,p) = 0" is literal;
+// "NO(E,p) < ∞" (finitely many NOs) is read as "no NO among the process's
+// last Window reports"; "NO(E,p) = ∞" as "a NO occurs among the last Window
+// reports". Window is an experiment parameter; runs must be long enough that
+// transient phases fit in the head.
+package core
+
+import "fmt"
+
+// Stats is the view of a monitored execution the decidability predicates
+// need: per-process NO counts and the finite-run tail proxy. Implemented by
+// monitor.Result; declared here so the decidability core stays free of the
+// runner's dependencies.
+type Stats interface {
+	// Procs returns the number of monitor processes.
+	Procs() int
+	// NOCount returns how many times process p reported NO.
+	NOCount(p int) int
+	// NOInTail reports whether process p reported NO among its last window
+	// reports.
+	NOInTail(p, window int) bool
+}
+
+// Class identifies one decidability notion of the paper.
+type Class uint8
+
+const (
+	// SD is strong decidability (Definition 4.1).
+	SD Class = iota + 1
+	// WAD is weak-all decidability (Definition 4.2): on words in the
+	// language every process reports NO finitely often; outside, some
+	// process reports NO infinitely often.
+	WAD
+	// WOD is weak-one decidability (Definition 4.3): in the language, some
+	// process reports NO finitely often; outside, every process reports NO
+	// infinitely often. Theorem 4.1 proves WAD = WOD = WD.
+	WOD
+	// WD is weak decidability (Definition 4.4): in the language every
+	// process reports NO finitely often, outside every process reports NO
+	// infinitely often.
+	WD
+	// PSD is predictive strong decidability (Definition 6.1).
+	PSD
+	// PWD is predictive weak decidability (Definition 6.2).
+	PWD
+)
+
+// String renders the class name as used in Table 1.
+func (c Class) String() string {
+	switch c {
+	case SD:
+		return "SD"
+	case WAD:
+		return "WAD"
+	case WOD:
+		return "WOD"
+	case WD:
+		return "WD"
+	case PSD:
+		return "PSD"
+	case PWD:
+		return "PWD"
+	default:
+		return fmt.Sprintf("Class(%d)", uint8(c))
+	}
+}
+
+// Eval describes how a finite run is judged against a decidability notion.
+type Eval struct {
+	// Class under evaluation.
+	Class Class
+	// Window is the tail length used to interpret "finitely/infinitely many
+	// NOs" on finite runs.
+	Window int
+	// SketchViolated reports whether the run's reconstructed sketch x~(E)
+	// falls outside the language — the escape clause of the predictive
+	// notions. Required for PSD and PWD; ignored otherwise.
+	SketchViolated func() bool
+}
+
+// Check judges the monitored execution res, whose input ω-word membership is
+// in, against the decidability notion. It returns nil when the verdicts are
+// consistent with the notion and a descriptive error otherwise.
+func (e Eval) Check(res Stats, in bool) error {
+	switch e.Class {
+	case SD:
+		return e.checkSD(res, in)
+	case WAD:
+		return e.checkWAD(res, in)
+	case WOD:
+		return e.checkWOD(res, in)
+	case WD:
+		return e.checkWD(res, in)
+	case PSD:
+		return e.checkPSD(res, in)
+	case PWD:
+		return e.checkPWD(res, in)
+	default:
+		return fmt.Errorf("core: unknown class %d", e.Class)
+	}
+}
+
+func (e Eval) checkWAD(res Stats, in bool) error {
+	if in {
+		for p := 0; p < res.Procs(); p++ {
+			if res.NOInTail(p, e.Window) {
+				return fmt.Errorf("WAD violated: word in language but process %d still reports NO in the tail", p)
+			}
+		}
+		return nil
+	}
+	for p := 0; p < res.Procs(); p++ {
+		if res.NOInTail(p, e.Window) {
+			return nil
+		}
+	}
+	return fmt.Errorf("WAD violated: word outside language but every process stopped reporting NO")
+}
+
+func (e Eval) checkWOD(res Stats, in bool) error {
+	if in {
+		for p := 0; p < res.Procs(); p++ {
+			if !res.NOInTail(p, e.Window) {
+				return nil
+			}
+		}
+		return fmt.Errorf("WOD violated: word in language but every process reports NO in the tail")
+	}
+	for p := 0; p < res.Procs(); p++ {
+		if !res.NOInTail(p, e.Window) {
+			return fmt.Errorf("WOD violated: word outside language but process %d stopped reporting NO", p)
+		}
+	}
+	return nil
+}
+
+func (e Eval) checkSD(res Stats, in bool) error {
+	if in {
+		for p := 0; p < res.Procs(); p++ {
+			if c := res.NOCount(p); c > 0 {
+				return fmt.Errorf("SD violated: word in language but process %d reported NO %d times", p, c)
+			}
+		}
+		return nil
+	}
+	if totalNO(res) == 0 {
+		return fmt.Errorf("SD violated: word outside language but no process ever reported NO")
+	}
+	return nil
+}
+
+func (e Eval) checkWD(res Stats, in bool) error {
+	for p := 0; p < res.Procs(); p++ {
+		tail := res.NOInTail(p, e.Window)
+		if in && tail {
+			return fmt.Errorf("WD violated: word in language but process %d still reports NO in the tail", p)
+		}
+		if !in && !tail {
+			return fmt.Errorf("WD violated: word outside language but process %d stopped reporting NO", p)
+		}
+	}
+	return nil
+}
+
+func (e Eval) checkPSD(res Stats, in bool) error {
+	if !in {
+		if totalNO(res) == 0 {
+			return fmt.Errorf("PSD violated: word outside language but no NO reported")
+		}
+		return nil
+	}
+	if totalNO(res) == 0 {
+		return nil
+	}
+	if e.SketchViolated == nil {
+		return fmt.Errorf("PSD evaluation requires a sketch check")
+	}
+	if !e.SketchViolated() {
+		return fmt.Errorf("PSD violated: NO reported on a word in the language, yet the sketch x~(E) is in the language too — the false negative has no justification")
+	}
+	return nil
+}
+
+func (e Eval) checkPWD(res Stats, in bool) error {
+	if !in {
+		for p := 0; p < res.Procs(); p++ {
+			if !res.NOInTail(p, e.Window) {
+				return fmt.Errorf("PWD violated: word outside language but process %d stopped reporting NO", p)
+			}
+		}
+		return nil
+	}
+	persistent := false
+	for p := 0; p < res.Procs(); p++ {
+		if res.NOInTail(p, e.Window) {
+			persistent = true
+		}
+	}
+	if !persistent {
+		return nil
+	}
+	if e.SketchViolated == nil {
+		return fmt.Errorf("PWD evaluation requires a sketch check")
+	}
+	if !e.SketchViolated() {
+		return fmt.Errorf("PWD violated: persistent NOs on a word in the language without a sketch justification")
+	}
+	return nil
+}
+
+func totalNO(res Stats) int {
+	t := 0
+	for p := 0; p < res.Procs(); p++ {
+		t += res.NOCount(p)
+	}
+	return t
+}

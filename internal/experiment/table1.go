@@ -1,0 +1,445 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/drv-go/drv/internal/adversary"
+	"github.com/drv-go/drv/internal/check"
+	"github.com/drv-go/drv/internal/core"
+	"github.com/drv-go/drv/internal/lang"
+	"github.com/drv-go/drv/internal/monitor"
+	"github.com/drv-go/drv/internal/sched"
+	"github.com/drv-go/drv/internal/spec"
+	"github.com/drv-go/drv/internal/word"
+)
+
+// Params sizes the Table 1 harness. The defaults keep the whole table under
+// a minute; larger values sharpen the finite-run proxies for the ω-word
+// quantifiers.
+type Params struct {
+	// Procs is the monitor process count for possibility cells.
+	Procs int
+	// Seeds are the scheduling seeds each possibility cell sweeps.
+	Seeds []int64
+	// Steps bounds untimed possibility runs; TimedSteps the predictive
+	// monitors (whose per-round check grows with history); SCSteps the
+	// sequential-consistency monitors (exponential search, shortest runs).
+	Steps, TimedSteps, SCSteps int
+	// Window is the verdict-tail length interpreting "finitely many NOs".
+	Window int
+	// SwapRounds sizes the Lemma 5.1 construction; AttackRounds the bad
+	// prefix of the prefix-extension attacks; Stages the Lemma 6.5
+	// alternation count.
+	SwapRounds, AttackRounds, Stages int
+}
+
+// DefaultParams returns the harness defaults.
+func DefaultParams() Params {
+	return Params{
+		Procs:        3,
+		Seeds:        []int64{1, 2},
+		Steps:        30_000,
+		TimedSteps:   4_000,
+		SCSteps:      1_500,
+		Window:       4,
+		SwapRounds:   8,
+		AttackRounds: 6,
+		Stages:       3,
+	}
+}
+
+// Cell is one entry of Table 1.
+type Cell struct {
+	// Lang and Class locate the cell.
+	Lang  string
+	Class core.Class
+	// Expected is the paper's claim: true = decidable (✓).
+	Expected bool
+	// Method names the construction that reproduces the cell.
+	Method string
+	// Evidence is a one-line summary of what was checked.
+	Evidence string
+	// Err is non-nil when the reproduction failed.
+	Err error
+}
+
+// OK reports whether the cell was reproduced.
+func (c Cell) OK() bool { return c.Err == nil }
+
+// Mark renders ✓/✗ as in Table 1.
+func (c Cell) Mark() string {
+	if c.Expected {
+		return "✓"
+	}
+	return "✗"
+}
+
+// Row is one language row of Table 1.
+type Row struct {
+	Lang  string
+	Cells [4]Cell // SD, WD, PSD, PWD
+}
+
+// Table1 reproduces every cell of Table 1 and returns the rows in paper
+// order.
+func Table1(p Params) []Row {
+	if p.Procs == 0 {
+		p = DefaultParams()
+	}
+	t := &table{p: p}
+	return []Row{
+		t.registerRow(lang.LinReg(), true),
+		t.registerRow(lang.SCReg(), false),
+		t.ledgerRow(lang.LinLed(), true),
+		t.ledgerRow(lang.SCLed(), false),
+		t.ecLedRow(),
+		t.wecRow(),
+		t.secRow(),
+	}
+}
+
+type table struct {
+	p Params
+}
+
+// ---------------------------------------------------------------- running
+
+// runUntimed executes a monitor against A exhibiting the source's word.
+func (t *table) runUntimed(m monitor.Monitor, src adversary.Source, seed int64, steps int) *monitor.Result {
+	adv := adversary.NewA(t.p.Procs, src)
+	return monitor.Run(monitor.Config{
+		N:       t.p.Procs,
+		Monitor: m,
+		NewService: func(rt *sched.Runtime) (adversary.Service, []int) {
+			return adv, []int{adv.Register(rt)}
+		},
+		Policy: func(aux []int) sched.Policy {
+			return sched.Biased(seed, aux[0], 0.5)
+		},
+		MaxSteps: steps,
+	})
+}
+
+// runTimed executes a monitor factory against Aτ wrapping A.
+func (t *table) runTimed(mk func(tau *adversary.Timed) monitor.Monitor, src adversary.Source, seed int64, steps int) (*monitor.Result, *adversary.Timed) {
+	adv := adversary.NewA(t.p.Procs, src)
+	tau := adversary.NewTimed(t.p.Procs, adv, adversary.ArrayAtomic)
+	res := monitor.Run(monitor.Config{
+		N:       t.p.Procs,
+		Monitor: mk(tau),
+		NewService: func(rt *sched.Runtime) (adversary.Service, []int) {
+			return tau, []int{adv.Register(rt)}
+		},
+		Policy: func(aux []int) sched.Policy {
+			return sched.Biased(seed, aux[0], 0.5)
+		},
+		MaxSteps: steps,
+	})
+	return res, tau
+}
+
+// sweepUntimed judges an untimed monitor against every labelled source under
+// the class's predicate.
+func (t *table) sweepUntimed(m monitor.Monitor, l lang.Lang, class core.Class, steps int) error {
+	for _, seed := range t.p.Seeds {
+		for _, lb := range l.Sources(t.p.Procs, seed) {
+			res := t.runUntimed(m, lb.New(), seed, steps)
+			ev := core.Eval{Class: class, Window: t.p.Window}
+			if err := ev.Check(res, lb.In); err != nil {
+				return fmt.Errorf("seed %d source %s: %w", seed, lb.Name, err)
+			}
+		}
+	}
+	return nil
+}
+
+// sweepTimed judges a timed monitor factory against every labelled source,
+// with the sketch escape clause evaluated by sketchBad.
+func (t *table) sweepTimed(mk func(tau *adversary.Timed) monitor.Monitor, l lang.Lang, class core.Class, steps int, sketchBad func(sk word.Word) bool) error {
+	for _, seed := range t.p.Seeds {
+		for _, lb := range l.Sources(t.p.Procs, seed) {
+			res, tau := t.runTimed(mk, lb.New(), seed, steps)
+			ev := core.Eval{Class: class, Window: t.p.Window, SketchViolated: func() bool {
+				sk, err := res.Sketch(t.p.Procs, tau)
+				if err != nil {
+					return false
+				}
+				return sketchBad(sk)
+			}}
+			if err := ev.Check(res, lb.In); err != nil {
+				return fmt.Errorf("seed %d source %s: %w", seed, lb.Name, err)
+			}
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------- rows
+
+// registerRow reproduces the LIN_REG or SC_REG row (lin selects which).
+func (t *table) registerRow(l lang.Lang, lin bool) Row {
+	row := Row{Lang: l.Name}
+	swap := Lemma51{Rounds: t.p.SwapRounds}
+
+	// SD ✗ and WD ✗: the Lemma 5.1 swap defeats both an order-free monitor
+	// and one wielding unbounded consensus power.
+	naive := monitor.NewNaiveOrder(spec.Register(), adversary.ArrayAtomic)
+	cons := monitor.NewConsensusOrder(spec.Register(), adversary.ArrayAtomic)
+	var swapErr error
+	for _, m := range []monitor.Monitor{naive, cons} {
+		if err := swap.Verify(m); err != nil {
+			swapErr = fmt.Errorf("%s: %w", m.Name(), err)
+			break
+		}
+	}
+	evidence := "Lemma 5.1 swap: E≡F, x(E)∈L, x(F)∉L, against order-free and consensus-powered monitors"
+	row.Cells[0] = Cell{Lang: l.Name, Class: core.SD, Expected: false, Method: "Lemma 5.1", Evidence: evidence, Err: swapErr}
+	row.Cells[1] = Cell{Lang: l.Name, Class: core.WD, Expected: false, Method: "Lemma 5.1", Evidence: evidence, Err: swapErr}
+
+	// PSD ✓ and PWD ✓: Figure 8 with the LIN or SC check.
+	steps := t.p.TimedSteps
+	mk := func(tau *adversary.Timed) monitor.Monitor {
+		return monitor.NewLin(spec.Register(), tau, adversary.ArrayAtomic)
+	}
+	if !lin {
+		steps = t.p.SCSteps
+		mk = func(tau *adversary.Timed) monitor.Monitor {
+			return monitor.NewSC(spec.Register(), tau, adversary.ArrayAtomic)
+		}
+	}
+	sketchBad := func(sk word.Word) bool { return l.SafetyViolated(sk) }
+	row.Cells[2] = Cell{Lang: l.Name, Class: core.PSD, Expected: true, Method: "Figure 8",
+		Evidence: "V_O over labelled sources, PSD predicate with sketch escape",
+		Err:      t.sweepTimed(mk, l, core.PSD, steps, sketchBad)}
+	row.Cells[3] = Cell{Lang: l.Name, Class: core.PWD, Expected: true, Method: "Figure 8",
+		Evidence: "V_O over labelled sources, PWD predicate",
+		Err:      t.sweepTimed(mk, l, core.PWD, steps, sketchBad)}
+	return row
+}
+
+// ledgerRow reproduces the LIN_LED or SC_LED row.
+func (t *table) ledgerRow(l lang.Lang, lin bool) Row {
+	row := Row{Lang: l.Name}
+
+	// SD ✗ and WD ✗ via Theorem 5.2: the Appendix A witness word is not
+	// real-time oblivious, and the shuffle walk realizes the proof's
+	// execution chain against a concrete monitor.
+	alpha := core.AppendixAWitness(t.p.Procs)
+	wit := core.FindRTOWitness(l.SafetyViolated, alpha, t.p.Procs)
+	var err error
+	if wit == nil {
+		err = fmt.Errorf("no RTO witness found for %s on the Appendix A word", l.Name)
+	} else {
+		_, err = RunWalk(monitor.NewNaiveOrder(spec.Ledger(), adversary.ArrayAtomic), t.p.Procs, wit.Alpha, wit.Shuffled)
+	}
+	evidence := "Appendix A witness + Theorem 5.2 shuffle walk (E,F,E″ triples verified)"
+	row.Cells[0] = Cell{Lang: l.Name, Class: core.SD, Expected: false, Method: "Thm 5.2", Evidence: evidence, Err: err}
+	row.Cells[1] = Cell{Lang: l.Name, Class: core.WD, Expected: false, Method: "Thm 5.2", Evidence: evidence, Err: err}
+
+	steps := t.p.TimedSteps
+	mk := func(tau *adversary.Timed) monitor.Monitor {
+		return monitor.NewLin(spec.Ledger(), tau, adversary.ArrayAtomic)
+	}
+	if !lin {
+		steps = t.p.SCSteps
+		mk = func(tau *adversary.Timed) monitor.Monitor {
+			return monitor.NewSC(spec.Ledger(), tau, adversary.ArrayAtomic)
+		}
+	}
+	sketchBad := func(sk word.Word) bool { return l.SafetyViolated(sk) }
+	row.Cells[2] = Cell{Lang: l.Name, Class: core.PSD, Expected: true, Method: "Figure 8",
+		Evidence: "V_O over labelled sources, PSD predicate with sketch escape",
+		Err:      t.sweepTimed(mk, l, core.PSD, steps, sketchBad)}
+	row.Cells[3] = Cell{Lang: l.Name, Class: core.PWD, Expected: true, Method: "Figure 8",
+		Evidence: "V_O over labelled sources, PWD predicate",
+		Err:      t.sweepTimed(mk, l, core.PWD, steps, sketchBad)}
+	return row
+}
+
+// ecLedRow reproduces the EC_LED row: undecidable everywhere.
+func (t *table) ecLedRow() Row {
+	l := lang.ECLed()
+	row := Row{Lang: l.Name}
+
+	alpha := core.AppendixAWitness(t.p.Procs)
+	wit := core.FindRTOWitness(l.SafetyViolated, alpha, t.p.Procs)
+	var err error
+	if wit == nil {
+		err = fmt.Errorf("no RTO witness found for %s on the Appendix A word", l.Name)
+	} else {
+		_, err = RunWalk(monitor.NewECLed(adversary.ArrayAtomic), t.p.Procs, wit.Alpha, wit.Shuffled)
+	}
+	evidence := "Appendix A witness + Theorem 5.2 shuffle walk"
+	row.Cells[0] = Cell{Lang: l.Name, Class: core.SD, Expected: false, Method: "Thm 5.2", Evidence: evidence, Err: err}
+	row.Cells[1] = Cell{Lang: l.Name, Class: core.WD, Expected: false, Method: "Thm 5.2", Evidence: evidence, Err: err}
+
+	attack := Lemma65{N: 2, Stages: t.p.Stages}
+	aErr := attack.Verify(func(*adversary.Timed) monitor.Monitor {
+		return monitor.NewECLed(adversary.ArrayAtomic)
+	}, adversary.ArrayAtomic)
+	evidence = "Lemma 6.5 alternation attack: unbounded NOs on an in-language tight behaviour"
+	row.Cells[2] = Cell{Lang: l.Name, Class: core.PSD, Expected: false, Method: "Lemma 6.5", Evidence: evidence, Err: aErr}
+	row.Cells[3] = Cell{Lang: l.Name, Class: core.PWD, Expected: false, Method: "Lemma 6.5", Evidence: evidence, Err: aErr}
+	return row
+}
+
+// wecRow reproduces the WEC_COUNT row: ✗SD ✓WD ✗PSD ✓PWD.
+func (t *table) wecRow() Row {
+	l := lang.WECCount()
+	row := Row{Lang: l.Name}
+	attack := t.counterAttack()
+
+	res, err := attack.Run(monitor.NewWEC(adversary.ArrayAtomic))
+	if err == nil {
+		err = res.Verify(func(w word.Word) bool {
+			return check.WECSafety(w) == nil && check.Converges(w)
+		})
+	}
+	row.Cells[0] = Cell{Lang: l.Name, Class: core.SD, Expected: false, Method: "Lemma 5.2",
+		Evidence: "prefix-extension attack on Figure 5: replayed NO on an in-language word", Err: err}
+
+	row.Cells[1] = Cell{Lang: l.Name, Class: core.WD, Expected: true, Method: "Figure 5",
+		Evidence: "amplified Figure 5 over labelled sources, WD predicate",
+		Err:      t.sweepUntimed(monitor.AmplifyWAD(monitor.NewWEC(adversary.ArrayAtomic), adversary.ArrayAtomic), l, core.WD, t.p.Steps)}
+
+	tRes, tErr := attack.RunTimed(func(*adversary.Timed) monitor.Monitor {
+		return monitor.NewWEC(adversary.ArrayAtomic)
+	}, adversary.ArrayAtomic)
+	if tErr == nil {
+		tErr = tRes.Verify(func(w word.Word) bool {
+			return check.WECSafety(w) == nil && check.Converges(w)
+		})
+		if tErr == nil && !tRes.TightSketch {
+			tErr = fmt.Errorf("execution not tight: sketch escape clause remains open")
+		}
+	}
+	row.Cells[2] = Cell{Lang: l.Name, Class: core.PSD, Expected: false, Method: "Lemma 6.2",
+		Evidence: "tight prefix-extension attack: NO on in-language word with x(E)=x~(E)", Err: tErr}
+
+	row.Cells[3] = Cell{Lang: l.Name, Class: core.PWD, Expected: true, Method: "Figure 5",
+		Evidence: "amplified Figure 5 against Aτ over labelled sources, PWD predicate",
+		Err: t.sweepTimed(func(*adversary.Timed) monitor.Monitor {
+			return monitor.AmplifyWAD(monitor.NewWEC(adversary.ArrayAtomic), adversary.ArrayAtomic)
+		}, l, core.PWD, t.p.Steps, func(sk word.Word) bool {
+			return check.WECSafety(sk) != nil
+		})}
+	return row
+}
+
+// secRow reproduces the SEC_COUNT row: ✗ ✗ ✗ ✓.
+func (t *table) secRow() Row {
+	l := lang.SECCount()
+	row := Row{Lang: l.Name}
+	attack := t.counterAttack()
+
+	res, err := attack.RunTimed(func(tau *adversary.Timed) monitor.Monitor {
+		return monitor.NewSEC(tau, adversary.ArrayAtomic)
+	}, adversary.ArrayAtomic)
+	if err == nil {
+		err = res.Verify(func(w word.Word) bool {
+			return check.SECSafety(w) == nil && check.Converges(w)
+		})
+	}
+	row.Cells[0] = Cell{Lang: l.Name, Class: core.SD, Expected: false, Method: "Lemma 5.2",
+		Evidence: "prefix-extension attack on Figure 9: replayed NO on an in-language word", Err: err}
+
+	// WD ✗ via Theorem 5.2: SEC_COUNT's clause (4) makes it real-time
+	// sensitive; the walk realizes the chain on the witness.
+	alpha := secWitness()
+	wit := core.FindRTOWitness(l.SafetyViolated, alpha, 2)
+	var wErr error
+	if wit == nil {
+		wErr = fmt.Errorf("no RTO witness on the clause-4 word")
+	} else {
+		_, wErr = RunWalk(monitor.NewWEC(adversary.ArrayAtomic), 2, wit.Alpha, wit.Shuffled)
+	}
+	row.Cells[1] = Cell{Lang: l.Name, Class: core.WD, Expected: false, Method: "Thm 5.2",
+		Evidence: "clause-4 witness + shuffle walk", Err: wErr}
+
+	if err == nil && !res.TightSketch {
+		err = fmt.Errorf("execution not tight")
+	}
+	row.Cells[2] = Cell{Lang: l.Name, Class: core.PSD, Expected: false, Method: "Lemma 6.2",
+		Evidence: "tight prefix-extension attack on Figure 9", Err: err}
+
+	row.Cells[3] = Cell{Lang: l.Name, Class: core.PWD, Expected: true, Method: "Figure 9",
+		Evidence: "amplified Figure 9 over labelled sources, PWD predicate",
+		Err: t.sweepTimed(func(tau *adversary.Timed) monitor.Monitor {
+			return monitor.AmplifyWAD(monitor.NewSEC(tau, adversary.ArrayAtomic), adversary.ArrayAtomic)
+		}, l, core.PWD, t.p.TimedSteps, func(sk word.Word) bool {
+			return check.SECSafety(sk) != nil
+		})}
+	return row
+}
+
+// counterAttack builds the Lemma 5.2 instance: one inc, then reads of 0
+// forever (outside both counter languages); the good tail completes pending
+// operations and reads the true total forever.
+func (t *table) counterAttack() PrefixAttack {
+	n := 2
+	b := word.NewB()
+	b.Op(0, spec.OpInc, nil, word.Unit{})
+	for r := 0; r < t.p.AttackRounds; r++ {
+		b.Op(1, spec.OpRead, nil, word.Int(0))
+		b.Op(0, spec.OpRead, nil, word.Int(0))
+	}
+	return PrefixAttack{
+		N:   n,
+		Bad: b.Word(),
+		GoodTail: func(cut word.Word) word.Word {
+			// Count incs invoked in the cut; every subsequent read returns
+			// that total.
+			incs := 0
+			for _, s := range cut {
+				if s.Kind == word.Inv && s.Op == spec.OpInc {
+					incs++
+				}
+			}
+			tail := word.NewB()
+			// Complete pending invocations.
+			for _, op := range word.PendingOps(cut) {
+				switch op.Op {
+				case spec.OpInc:
+					tail.Res(op.ID.Proc, spec.OpInc, word.Unit{})
+				case spec.OpRead:
+					tail.Res(op.ID.Proc, spec.OpRead, word.Int(incs))
+				}
+			}
+			for r := 0; r < t.p.AttackRounds; r++ {
+				for p := 0; p < n; p++ {
+					tail.Op(p, spec.OpRead, nil, word.Int(incs))
+				}
+			}
+			return tail.Word()
+		},
+	}
+}
+
+// secWitness is the 2-process clause-4 witness: p0 incs, then p1 reads 1
+// with the inc strictly preceding — the shuffle that defers the inc past the
+// read over-reads.
+func secWitness() word.Word {
+	b := word.NewB()
+	b.Op(0, spec.OpInc, nil, word.Unit{})
+	b.Op(1, spec.OpRead, nil, word.Int(1))
+	return b.Word()
+}
+
+// Render formats the rows like the paper's Table 1, marking failed cells.
+func Render(rows []Row) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-12s %-6s %-6s %-6s %-6s\n", "Language", "SD", "WD", "PSD", "PWD")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-12s", r.Lang)
+		for _, c := range r.Cells {
+			mark := c.Mark()
+			if !c.OK() {
+				mark += "!"
+			}
+			fmt.Fprintf(&sb, " %-6s", mark)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

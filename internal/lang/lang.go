@@ -1,0 +1,146 @@
+// Package lang defines the paper's distributed languages (Definitions
+// 2.3–2.9) operationally: for each language, a finite-prefix safety test, its
+// real-time obliviousness classification (Definition 5.3), and labelled
+// ω-word generators used by the possibility experiments — finite runs cannot
+// decide ω-membership, so each source carries ground truth about the word it
+// samples.
+package lang
+
+import (
+	"github.com/drv-go/drv/internal/adversary"
+	"github.com/drv-go/drv/internal/check"
+	"github.com/drv-go/drv/internal/spec"
+	"github.com/drv-go/drv/internal/word"
+)
+
+// Lang describes one distributed language.
+type Lang struct {
+	// Name matches Table 1: LIN_REG, SC_REG, LIN_LED, SC_LED, EC_LED,
+	// WEC_COUNT, SEC_COUNT.
+	Name string
+	// Object is the sequential object underlying the language, when there is
+	// one (nil for the counter languages, whose definitions are clause-based).
+	Object spec.Object
+	// SafetyViolated reports that the finite prefix already falsifies
+	// membership: no continuation of w is in the language. Liveness clauses
+	// (the "eventually" parts of the eventual objects) are not prefix-
+	// falsifiable and are covered by source labels instead.
+	SafetyViolated func(w word.Word) bool
+	// RealTimeOblivious is the Definition 5.3 classification the paper
+	// derives: it determines decidability against A via Theorem 5.2.
+	RealTimeOblivious bool
+	// Sources returns labelled behaviour generators over n processes.
+	// Deterministic in seed.
+	Sources func(n int, seed int64) []adversary.Labeled
+}
+
+// All returns the seven languages of Table 1, in table order.
+func All() []Lang {
+	return []Lang{
+		LinReg(), SCReg(), LinLed(), SCLed(), ECLed(), WECCount(), SECCount(),
+	}
+}
+
+// anyPrefixViolates lifts a per-word violation test to the language
+// definitions that quantify over all finite prefixes (Definitions 2.3, 2.5,
+// 2.9: "every finite prefix of it is ..."). Sequential consistency and the
+// eventual ledger's clause (1) are not prefix-closed — a later symbol can
+// repair a whole-word check (e.g. a read of r before write(r) is even
+// invoked) — so each prefix ending at a response symbol must be tested.
+// Linearizability is prefix-closed, so LIN languages test the word directly.
+func anyPrefixViolates(violated func(word.Word) bool) func(word.Word) bool {
+	return func(w word.Word) bool {
+		for cut := 1; cut <= len(w); cut++ {
+			if cut < len(w) && w[cut-1].Kind != word.Res {
+				continue
+			}
+			if violated(w[:cut]) {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// LinReg is the linearizable register language (Definition 2.4).
+func LinReg() Lang {
+	reg := spec.Register()
+	return Lang{
+		Name:              "LIN_REG",
+		Object:            reg,
+		SafetyViolated:    func(w word.Word) bool { return !check.Linearizable(reg, w) },
+		RealTimeOblivious: false,
+		Sources:           registerSources(true),
+	}
+}
+
+// SCReg is the sequentially consistent register language (Definition 2.3).
+func SCReg() Lang {
+	reg := spec.Register()
+	return Lang{
+		Name:              "SC_REG",
+		Object:            reg,
+		SafetyViolated:    anyPrefixViolates(func(w word.Word) bool { return !check.SeqConsistent(reg, w) }),
+		RealTimeOblivious: false,
+		Sources:           registerSources(false),
+	}
+}
+
+// LinLed is the linearizable ledger language (Definition 2.6).
+func LinLed() Lang {
+	led := spec.Ledger()
+	return Lang{
+		Name:              "LIN_LED",
+		Object:            led,
+		SafetyViolated:    func(w word.Word) bool { return !check.Linearizable(led, w) },
+		RealTimeOblivious: false,
+		Sources:           ledgerSources(true),
+	}
+}
+
+// SCLed is the sequentially consistent ledger language (Definition 2.5).
+func SCLed() Lang {
+	led := spec.Ledger()
+	return Lang{
+		Name:              "SC_LED",
+		Object:            led,
+		SafetyViolated:    anyPrefixViolates(func(w word.Word) bool { return !check.SeqConsistent(led, w) }),
+		RealTimeOblivious: false,
+		Sources:           ledgerSources(false),
+	}
+}
+
+// ECLed is the eventually consistent ledger language (Definition 2.9).
+func ECLed() Lang {
+	return Lang{
+		Name:              "EC_LED",
+		Object:            spec.Ledger(),
+		SafetyViolated:    anyPrefixViolates(func(w word.Word) bool { return check.ECLedgerSafety(w) != nil }),
+		RealTimeOblivious: false, // Appendix A
+		Sources:           ecLedgerSources,
+	}
+}
+
+// WECCount is the weakly-eventual consistent counter language (Definition
+// 2.7).
+func WECCount() Lang {
+	return Lang{
+		Name:              "WEC_COUNT",
+		Object:            spec.Counter(),
+		SafetyViolated:    func(w word.Word) bool { return check.WECSafety(w) != nil },
+		RealTimeOblivious: true, // noted after Definition 5.3
+		Sources:           counterSources(false),
+	}
+}
+
+// SECCount is the strongly-eventual consistent counter language (Definition
+// 2.8).
+func SECCount() Lang {
+	return Lang{
+		Name:              "SEC_COUNT",
+		Object:            spec.Counter(),
+		SafetyViolated:    func(w word.Word) bool { return check.SECSafety(w) != nil },
+		RealTimeOblivious: false, // clause (4) is a real-time constraint
+		Sources:           counterSources(true),
+	}
+}

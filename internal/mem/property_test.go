@@ -1,0 +1,97 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/drv-go/drv/internal/sched"
+)
+
+// TestSnapshotMonotonicityProperty: under any seeded schedule, successive
+// snapshots taken by any process of an array whose cells only grow must be
+// pointwise monotone — the property the WEC/SEC monitors and the timed
+// adversary's views rely on (view comparability comes from snapshot
+// atomicity plus cell monotonicity).
+func TestSnapshotMonotonicityProperty(t *testing.T) {
+	for _, build := range []struct {
+		name string
+		mk   func(n int) Array[int]
+	}{
+		{"atomic", func(n int) Array[int] { return NewAtomicArray(n, 0) }},
+		{"aadgms", func(n int) Array[int] { return NewSnapshotArray(n, 0) }},
+		{"collect", func(n int) Array[int] { return NewCollectArray(n, 0) }},
+	} {
+		build := build
+		t.Run(build.name, func(t *testing.T) {
+			f := func(seedRaw uint16) bool {
+				seed := int64(seedRaw)
+				const n = 3
+				rt := sched.New(n, sched.Random(seed))
+				arr := build.mk(n)
+				ok := true
+				for i := 0; i < n; i++ {
+					i := i
+					rt.Spawn(i, func(p *sched.Proc) {
+						prev := make([]int, n)
+						for round := 0; round < 6; round++ {
+							own := arr.Read(p, i)
+							arr.Write(p, i, own+1)
+							snap := arr.Snapshot(p)
+							for j := range snap {
+								if snap[j] < prev[j] {
+									ok = false
+								}
+								prev[j] = snap[j]
+							}
+						}
+					})
+				}
+				for rt.Steps() < 100_000 {
+					if !rt.Step() {
+						break
+					}
+				}
+				rt.Stop()
+				return ok
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestSnapshotContainsOwnWriteProperty: a snapshot taken after a process's
+// own write must reflect it — the "view contains its own invocation"
+// property the sketch construction checks.
+func TestSnapshotContainsOwnWriteProperty(t *testing.T) {
+	f := func(seedRaw uint16) bool {
+		seed := int64(seedRaw)
+		const n = 3
+		rt := sched.New(n, sched.Random(seed))
+		arr := NewSnapshotArray(n, 0)
+		ok := true
+		for i := 0; i < n; i++ {
+			i := i
+			rt.Spawn(i, func(p *sched.Proc) {
+				for round := 1; round <= 5; round++ {
+					arr.Write(p, i, round)
+					snap := arr.Snapshot(p)
+					if snap[i] < round {
+						ok = false
+					}
+				}
+			})
+		}
+		for rt.Steps() < 100_000 {
+			if !rt.Step() {
+				break
+			}
+		}
+		rt.Stop()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

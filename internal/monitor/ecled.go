@@ -1,0 +1,111 @@
+package monitor
+
+import (
+	"github.com/drv-go/drv/internal/adversary"
+	"github.com/drv-go/drv/internal/check"
+	"github.com/drv-go/drv/internal/sched"
+	"github.com/drv-go/drv/internal/sketch"
+	"github.com/drv-go/drv/internal/spec"
+	"github.com/drv-go/drv/internal/word"
+)
+
+// NewECLed returns a best-effort monitor for the eventually consistent
+// ledger EC_LED: processes share their observed operations on a board,
+// report NO when the ordering clause (1) is violated on the shared
+// (order-free) history, and report NO transiently when convergence lags —
+// a get response that misses a record whose append was already shared at the
+// process's previous round.
+//
+// Lemma 6.5 proves EC_LED ∉ PWD, so no monitor — this one included — can
+// predictively weakly decide it. NewECLed exists to make that impossibility
+// concrete: it is a sound, plausible candidate (it weakly catches every
+// safety violation and flags divergence), and the adaptive attack of the
+// experiment package drives exactly this monitor through an in-language word
+// on which every process reports NO unboundedly often, with tight executions
+// removing the sketch escape clause.
+func NewECLed(kind adversary.ArrayKind) Monitor {
+	return NewMonitor("ecled-candidate/"+kindName(kind), func(n int) []Logic {
+		board := newTripleBoard(n, kind)
+		logics := make([]Logic, n)
+		for i := range logics {
+			logics[i] = &ecledLogic{board: board}
+		}
+		return logics
+	})
+}
+
+// ecledLogic is the per-process state of the candidate EC_LED monitor.
+type ecledLogic struct {
+	board *tripleBoard
+
+	inv     word.Symbol
+	count   int
+	flag    bool // ordering clause violated: sticky NO
+	verdict Verdict
+
+	// prevAppends is the set of records whose append invocations were
+	// visible on the board at the previous round; a get that misses one of
+	// them is flagged as divergence (transient NO).
+	prevAppends map[word.Rec]bool
+}
+
+// PreSend implements Line 02: nothing to announce before sending (appends
+// become visible when their triple is published after the response).
+func (l *ecledLogic) PreSend(_ *sched.Proc, inv word.Symbol) { l.inv = inv }
+
+// PostRecv implements Line 05: publish the completed operation, snapshot the
+// board, and evaluate the clauses.
+func (l *ecledLogic) PostRecv(p *sched.Proc, resp adversary.Response) {
+	id := resp.ID
+	if id == (word.OpID{}) {
+		id = word.OpID{Proc: p.ID, Idx: l.count}
+	}
+	l.count++
+	triples := l.board.publish(p, sketch.Triple{ID: id, Inv: l.inv, Res: resp.Sym})
+	h := orderFreeWord(triples)
+
+	if l.flag {
+		l.verdict = No
+		return
+	}
+	if check.ECLedgerSafety(h) != nil {
+		l.flag = true
+		l.verdict = No
+		return
+	}
+	// Divergence test: if this operation was a get, it must contain every
+	// record whose append was known a round ago.
+	l.verdict = Yes
+	if l.inv.Op == spec.OpGet {
+		got := map[word.Rec]bool{}
+		if seq, ok := resp.Sym.Val.(word.Seq); ok {
+			for _, r := range seq {
+				got[r] = true
+			}
+		}
+		for r := range l.prevAppends {
+			if !got[r] {
+				l.verdict = No
+				break
+			}
+		}
+	}
+	// Refresh the known-append set for the next round.
+	known := map[word.Rec]bool{}
+	for _, tr := range triples {
+		if tr.Inv.Op == spec.OpAppend {
+			if r, ok := tr.Inv.Val.(word.Rec); ok {
+				known[r] = true
+			}
+		}
+	}
+	l.prevAppends = known
+}
+
+// Decide implements Line 06.
+func (l *ecledLogic) Decide(*sched.Proc) Verdict {
+	if l.verdict == 0 {
+		return Yes
+	}
+	return l.verdict
+}

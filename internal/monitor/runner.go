@@ -1,0 +1,208 @@
+package monitor
+
+import (
+	"github.com/drv-go/drv/internal/adversary"
+	"github.com/drv-go/drv/internal/sched"
+	"github.com/drv-go/drv/internal/sketch"
+	"github.com/drv-go/drv/internal/word"
+)
+
+// Config describes one monitored execution.
+type Config struct {
+	// N is the number of monitor processes.
+	N int
+	// Monitor under test.
+	Monitor Monitor
+	// NewService builds the service (adversary) on the runtime and returns
+	// it along with the auxiliary actor IDs it registered (cursor first).
+	NewService func(rt *sched.Runtime) (adversary.Service, []int)
+	// Policy builds the scheduling policy, given the service's auxiliary
+	// actor IDs. Nil defaults to a cursor-prioritizing round-robin.
+	Policy func(aux []int) sched.Policy
+	// Gate, when non-nil, is called at the top of every loop iteration
+	// (between Line 01 and Line 02); tight-execution drivers use it to
+	// control exactly when a process starts its send block.
+	Gate func(p *sched.Proc, round int)
+	// MaxSteps bounds the execution; the run also ends when the service's
+	// behaviour script is exhausted and all processes are parked or exited.
+	MaxSteps int
+	// Crash, when non-nil, maps a step count to process IDs to crash at that
+	// step. Checked between scheduler steps.
+	Crash map[int][]int
+	// Drive, when non-nil, replaces the default stepping loop: it receives
+	// the runtime after processes are spawned and must call rt.Step itself.
+	// Proof-construction drivers (the indistinguishability experiments of
+	// Section 5) use it to place every step explicitly. MaxSteps and Crash
+	// are ignored when Drive is set.
+	Drive func(rt *sched.Runtime)
+}
+
+// Result is the outcome of a monitored execution.
+type Result struct {
+	// History is the input word x(E): all send/receive events in real-time
+	// order as recorded by the service.
+	History word.Word
+	// Verdicts holds each process's reported values in report order.
+	Verdicts [][]Verdict
+	// Responses holds each process's received responses (with views when the
+	// service is timed), for sketch reconstruction.
+	Responses [][]adversary.Response
+	// Invs holds each process's sent invocations, aligned with Responses.
+	Invs [][]word.Symbol
+	// StepAt records the global scheduler step at which each verdict was
+	// reported, aligned with Verdicts.
+	StepAt [][]int
+	// PulledAt records how many source symbols the adversary had consumed
+	// when each verdict was reported (0 when the service does not track it).
+	PulledAt [][]int
+	// Steps is the number of scheduler steps taken.
+	Steps int
+}
+
+// Procs returns the number of monitor processes; part of core.Stats.
+func (r *Result) Procs() int { return len(r.Verdicts) }
+
+// NOCount returns how many times process p reported NO.
+func (r *Result) NOCount(p int) int {
+	n := 0
+	for _, v := range r.Verdicts[p] {
+		if v == No {
+			n++
+		}
+	}
+	return n
+}
+
+// TotalNO returns the number of NO reports across all processes.
+func (r *Result) TotalNO() int {
+	t := 0
+	for p := range r.Verdicts {
+		t += r.NOCount(p)
+	}
+	return t
+}
+
+// NOInTail reports whether process p reported NO among its last window
+// reports. Finite-run proxy for "reports NO infinitely often".
+func (r *Result) NOInTail(p, window int) bool {
+	v := r.Verdicts[p]
+	start := len(v) - window
+	if start < 0 {
+		start = 0
+	}
+	for _, d := range v[start:] {
+		if d == No {
+			return true
+		}
+	}
+	return false
+}
+
+// Run executes the monitor against the service and returns the result.
+func Run(cfg Config) *Result {
+	rt := sched.New(cfg.N, nil)
+	svc, aux := cfg.NewService(rt)
+	if cfg.Policy != nil {
+		rt.SetPolicy(cfg.Policy(aux))
+	} else if len(aux) > 0 {
+		rt.SetPolicy(sched.Prioritize(aux[0], sched.RoundRobin()))
+	} else {
+		rt.SetPolicy(sched.RoundRobin())
+	}
+	logics := cfg.Monitor.New(cfg.N)
+	res := &Result{
+		Verdicts:  make([][]Verdict, cfg.N),
+		Responses: make([][]adversary.Response, cfg.N),
+		Invs:      make([][]word.Symbol, cfg.N),
+		StepAt:    make([][]int, cfg.N),
+		PulledAt:  make([][]int, cfg.N),
+	}
+	pulled, _ := svc.(interface{ Pulled() int })
+	for i := 0; i < cfg.N; i++ {
+		i := i
+		logic := logics[i]
+		rt.Spawn(i, func(p *sched.Proc) {
+			for round := 0; ; round++ {
+				v, ok := svc.NextInv(p.ID) // Line 01
+				if !ok {
+					return
+				}
+				if cfg.Gate != nil {
+					cfg.Gate(p, round)
+				}
+				logic.PreSend(p, v)     // Line 02
+				svc.Send(p, v)          // Line 03
+				resp := svc.Recv(p)     // Line 04
+				logic.PostRecv(p, resp) // Line 05
+				d := logic.Decide(p)    // Line 06
+				res.Invs[i] = append(res.Invs[i], v)
+				res.Responses[i] = append(res.Responses[i], resp)
+				res.Verdicts[i] = append(res.Verdicts[i], d)
+				res.StepAt[i] = append(res.StepAt[i], rt.Steps())
+				src := 0
+				if pulled != nil {
+					src = pulled.Pulled()
+				}
+				res.PulledAt[i] = append(res.PulledAt[i], src)
+			}
+		})
+	}
+	defer rt.Stop()
+	if cfg.Drive != nil {
+		cfg.Drive(rt)
+	} else {
+		maxSteps := cfg.MaxSteps
+		if maxSteps <= 0 {
+			maxSteps = 1_000_000
+		}
+		crashable, _ := svc.(interface{ Crash(id int) })
+		for rt.Steps() < maxSteps {
+			if ids, ok := cfg.Crash[rt.Steps()]; ok {
+				for _, id := range ids {
+					rt.Crash(id)
+					if crashable != nil {
+						// Tell the service too: a crashed process has no
+						// further events in the exhibited word.
+						crashable.Crash(id)
+					}
+				}
+			}
+			if !rt.Step() {
+				break
+			}
+		}
+	}
+	res.Steps = rt.Steps()
+	res.History = svc.History()
+	return res
+}
+
+// Triples reassembles the sketch triples observed by process p (or by all
+// processes when p < 0) from a run against a timed service. Responses
+// without views (untimed services) are skipped.
+func (r *Result) Triples(p int) []sketch.Triple {
+	var out []sketch.Triple
+	for i := range r.Responses {
+		if p >= 0 && i != p {
+			continue
+		}
+		for k, resp := range r.Responses[i] {
+			if resp.View == nil {
+				continue
+			}
+			out = append(out, sketch.Triple{
+				ID:   resp.ID,
+				Inv:  r.Invs[i][k],
+				Res:  resp.Sym,
+				View: *resp.View,
+			})
+		}
+	}
+	return out
+}
+
+// Sketch builds the global sketch x~(E) from all processes' observations of
+// a run against the timed adversary tau.
+func (r *Result) Sketch(n int, tau *adversary.Timed) (word.Word, error) {
+	return sketch.Build(n, r.Triples(-1), tau.InvAt)
+}

@@ -1,0 +1,45 @@
+package monitor
+
+import (
+	"testing"
+
+	"github.com/drv-go/drv/internal/adversary"
+	"github.com/drv-go/drv/internal/lang"
+)
+
+// TestThreeValuedSEC covers the Section 7 remark for the predictive side: a
+// 3-valued PWD variant of the Figure 9 monitor reserves NO for
+// prefix-determined safety violations and YES for rounds with conclusive
+// positive information, reporting MAYBE otherwise. On words in SEC_COUNT no
+// process ever reports NO; outside it, no process ever reports YES once the
+// violation is determined — here, never.
+func TestThreeValuedSEC(t *testing.T) {
+	sec := lang.SECCount()
+	for _, lb := range sec.Sources(testProcs, 23) {
+		res, _ := runTimed(func(tau *adversary.Timed) Monitor {
+			return ThreeValuedSEC(tau, adversary.ArrayAtomic)
+		}, lb.New(), 23)
+		yes, no, maybe := 0, 0, 0
+		for p := range res.Verdicts {
+			for _, d := range res.Verdicts[p] {
+				switch d {
+				case Yes:
+					yes++
+				case No:
+					no++
+				case Maybe:
+					maybe++
+				}
+			}
+		}
+		if lb.In && no > 0 {
+			t.Errorf("source %s: 3-valued SEC monitor reported NO on a word in the language", lb.Name)
+		}
+		if !lb.In && yes > 0 {
+			t.Errorf("source %s: 3-valued SEC monitor reported YES on a word outside the language", lb.Name)
+		}
+		if yes+no+maybe == 0 {
+			t.Errorf("source %s: no verdicts at all", lb.Name)
+		}
+	}
+}

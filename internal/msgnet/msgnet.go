@@ -1,0 +1,196 @@
+// Package msgnet is the asynchronous message-passing substrate: a reliable
+// but unordered-and-unboundedly-delayed network among n crash-prone
+// processes, integrated with the cooperative scheduler. The paper's
+// possibility results use only read/write registers "hence can be simulated
+// in asynchronous message-passing systems tolerating crash faults in less
+// than half the processes [5]" — package abd builds that simulation (the
+// ABD register emulation) on top of this network, closing the loop from the
+// shared-memory theorems to deployable message-passing monitors.
+//
+// Delivery is adversarial: a network actor registered with the scheduler
+// delivers exactly one pending message per actor step, chosen by a seeded
+// policy, so message delays and reorderings are controlled by the same
+// schedule machinery that drives process steps. Messages are never lost or
+// duplicated; they are delayed arbitrarily, which together with crash
+// injection realizes the standard asynchronous crash-fault model.
+package msgnet
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/drv-go/drv/internal/sched"
+)
+
+// Message is one unit of transfer. Payloads are opaque to the network.
+type Message struct {
+	// From and To are process IDs.
+	From, To int
+	// Tag routes the message to the protocol handler (e.g. "read-req").
+	Tag string
+	// Seq is a protocol-chosen sequence number; opaque to the network.
+	Seq int
+	// Body is the payload; opaque to the network.
+	Body any
+}
+
+// String renders the message for experiment logs.
+func (m Message) String() string {
+	return fmt.Sprintf("%d→%d %s#%d", m.From, m.To, m.Tag, m.Seq)
+}
+
+// Order decides which pending message the network delivers next.
+type Order interface {
+	// Pick returns an index into pending (non-empty).
+	Pick(pending []Message, step int) int
+}
+
+// FIFOOrder delivers messages in send order: the most synchronous-looking
+// network, useful as a baseline.
+func FIFOOrder() Order { return fifoOrder{} }
+
+type fifoOrder struct{}
+
+func (fifoOrder) Pick([]Message, int) int { return 0 }
+
+// RandomOrder delivers a uniformly random pending message: the standard
+// asynchronous adversary.
+func RandomOrder(seed int64) Order {
+	return &randomOrder{rng: rand.New(rand.NewSource(seed))}
+}
+
+type randomOrder struct{ rng *rand.Rand }
+
+func (o *randomOrder) Pick(pending []Message, _ int) int {
+	return o.rng.Intn(len(pending))
+}
+
+// StarveOrder starves one process: messages to the victim are delivered only
+// when nothing else is pending. It exercises protocol liveness under maximal
+// unfairness short of message loss.
+func StarveOrder(victim int, inner Order) Order {
+	return &starveOrder{victim: victim, inner: inner}
+}
+
+type starveOrder struct {
+	victim int
+	inner  Order
+}
+
+func (o *starveOrder) Pick(pending []Message, step int) int {
+	other := make([]int, 0, len(pending))
+	for i, m := range pending {
+		if m.To != o.victim {
+			other = append(other, i)
+		}
+	}
+	if len(other) == 0 {
+		return o.inner.Pick(pending, step)
+	}
+	sub := make([]Message, len(other))
+	for k, i := range other {
+		sub[k] = pending[i]
+	}
+	return other[o.inner.Pick(sub, step)]
+}
+
+// Net is the network. All methods must be called from scheduler-controlled
+// goroutines (one runs at a time), so no further synchronization is needed.
+type Net struct {
+	n       int
+	order   Order
+	pending []Message
+	inboxes [][]Message
+	crashed []bool
+	sent    int
+	deliv   int
+}
+
+// New builds a network for n processes with the given delivery order.
+func New(n int, order Order) *Net {
+	if order == nil {
+		order = FIFOOrder()
+	}
+	return &Net{
+		n:       n,
+		order:   order,
+		inboxes: make([][]Message, n),
+		crashed: make([]bool, n),
+	}
+}
+
+// Register installs the delivery actor on the runtime and returns its actor
+// ID for use in scheduling policies.
+func (nt *Net) Register(rt *sched.Runtime) int {
+	return rt.AddAux("msgnet-delivery", nt.deliverable, nt.deliverStep)
+}
+
+func (nt *Net) deliverable() bool { return len(nt.pending) > 0 }
+
+// deliverStep moves one pending message into its destination inbox; the
+// delivery event of the asynchronous network.
+func (nt *Net) deliverStep() {
+	i := nt.order.Pick(nt.pending, nt.deliv)
+	m := nt.pending[i]
+	nt.pending = append(nt.pending[:i], nt.pending[i+1:]...)
+	nt.deliv++
+	if nt.crashed[m.To] {
+		return // messages to crashed processes vanish
+	}
+	nt.inboxes[m.To] = append(nt.inboxes[m.To], m)
+}
+
+// Send enqueues a message; one step for the sender. Sends by crashed
+// processes are dropped by the scheduler never running them, not here.
+func (nt *Net) Send(p *sched.Proc, m Message) {
+	m.From = p.ID
+	p.Pause()
+	nt.sent++
+	nt.pending = append(nt.pending, m)
+}
+
+// Broadcast sends m to every process including the sender (self-delivery
+// models the standard "send to all" primitive); one step per recipient.
+func (nt *Net) Broadcast(p *sched.Proc, m Message) {
+	for to := 0; to < nt.n; to++ {
+		mm := m
+		mm.To = to
+		nt.Send(p, mm)
+	}
+}
+
+// TryRecv dequeues the oldest inbox message matching the filter, without
+// blocking; one step. A nil filter matches everything.
+func (nt *Net) TryRecv(p *sched.Proc, match func(Message) bool) (Message, bool) {
+	p.Pause()
+	box := nt.inboxes[p.ID]
+	for i, m := range box {
+		if match == nil || match(m) {
+			nt.inboxes[p.ID] = append(box[:i:i], box[i+1:]...)
+			return m, true
+		}
+	}
+	return Message{}, false
+}
+
+// Recv blocks (consuming steps) until a matching message arrives.
+func (nt *Net) Recv(p *sched.Proc, match func(Message) bool) Message {
+	for {
+		if m, ok := nt.TryRecv(p, match); ok {
+			return m
+		}
+	}
+}
+
+// Crash marks a process crashed: its inbox is discarded and future messages
+// to it vanish. Call together with Runtime.Crash.
+func (nt *Net) Crash(id int) {
+	nt.crashed[id] = true
+	nt.inboxes[id] = nil
+}
+
+// Stats returns how many messages were sent and delivered.
+func (nt *Net) Stats() (sent, delivered int) { return nt.sent, nt.deliv }
+
+// PendingCount returns the number of in-flight messages.
+func (nt *Net) PendingCount() int { return len(nt.pending) }

@@ -1,0 +1,290 @@
+// Package sched provides the asynchronous computation model of Section 3 as
+// an executable substrate: n crash-prone processes, each a goroutine, run
+// under a cooperative scheduler that grants one atomic step at a time. There
+// is no bound on the number of steps of other processes between consecutive
+// steps of the same process — the scheduling Policy is the adversary's
+// control over asynchrony. Because exactly one goroutine runs at any moment
+// and policies are deterministic (seeded), every execution is replayable,
+// which is what makes the paper's indistinguishability arguments (E ≡ F)
+// checkable in code.
+//
+// Processes park between steps; shared-memory operations (package mem) call
+// Proc.Pause once per atomic action. A process can also park on a condition
+// gate (Proc.Await) — used to wait for the adversary to deliver a response —
+// and is not runnable until the gate opens. Crashing a process simply stops
+// scheduling it, which is exactly the crash model of the paper.
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// errStopped is the sentinel panic value used to unwind process goroutines
+// when the runtime shuts down; it never escapes the package.
+var errStopped = errors.New("sched: runtime stopped")
+
+type procState uint8
+
+const (
+	stateReady procState = iota + 1
+	stateGated
+	stateCrashed
+	stateExited
+)
+
+// Proc is the handle a process body uses to interact with the scheduler.
+// All methods must be called only from the process's own goroutine.
+type Proc struct {
+	// ID is the process index, 0 ≤ ID < n.
+	ID int
+
+	rt      *Runtime
+	grant   chan struct{}
+	done    chan struct{}
+	state   procState
+	gate    func() bool
+	steps   int
+	spawned bool
+}
+
+// Pause yields control and blocks until the scheduler grants the process its
+// next step. Every atomic action (a shared-memory operation, an interaction
+// with the adversary) performs exactly one Pause; purely local computation
+// between pauses is free, matching the model where local steps are absorbed
+// into the surrounding shared-memory step.
+func (p *Proc) Pause() {
+	p.done <- struct{}{}
+	<-p.grant
+	p.checkStopped()
+	p.steps++
+}
+
+// Await parks the process until cond reports true, then consumes one step.
+// The condition is evaluated by the scheduler between steps, so it must only
+// read state that is written by other actors' steps.
+func (p *Proc) Await(cond func() bool) {
+	p.state = stateGated
+	p.gate = cond
+	p.done <- struct{}{}
+	<-p.grant
+	p.gate = nil
+	p.state = stateReady
+	p.checkStopped()
+	p.steps++
+}
+
+// Steps returns the number of steps the process has taken.
+func (p *Proc) Steps() int { return p.steps }
+
+func (p *Proc) checkStopped() {
+	if p.rt.stopped {
+		panic(errStopped)
+	}
+}
+
+// Policy chooses the next actor to schedule among the runnable ones. IDs
+// 0..n−1 are processes; IDs ≥ n are auxiliary actors in registration order.
+// runnable is sorted ascending and non-empty; implementations must return one
+// of its elements.
+type Policy interface {
+	Next(runnable []int, step int) int
+}
+
+// Runtime hosts the processes and auxiliary actors of one execution.
+type Runtime struct {
+	n       int
+	procs   []*Proc
+	aux     []auxActor
+	policy  Policy
+	steps   int
+	stopped bool
+	started bool
+	wg      sync.WaitGroup
+}
+
+type auxActor struct {
+	name     string
+	runnable func() bool
+	step     func()
+}
+
+// New creates a runtime for n processes scheduled by the policy.
+func New(n int, policy Policy) *Runtime {
+	if n < 1 {
+		panic("sched: need at least one process")
+	}
+	rt := &Runtime{n: n, policy: policy}
+	rt.procs = make([]*Proc, n)
+	for i := range rt.procs {
+		rt.procs[i] = &Proc{
+			ID:    i,
+			rt:    rt,
+			grant: make(chan struct{}),
+			done:  make(chan struct{}),
+			state: stateReady,
+		}
+	}
+	return rt
+}
+
+// N returns the number of processes.
+func (rt *Runtime) N() int { return rt.n }
+
+// SetPolicy installs or replaces the scheduling policy. It must be called
+// before the first step; New may be given a nil policy when the final policy
+// depends on actor IDs assigned by AddAux.
+func (rt *Runtime) SetPolicy(p Policy) {
+	if rt.started {
+		panic("sched: SetPolicy after Run")
+	}
+	rt.policy = p
+}
+
+// Steps returns the number of steps scheduled so far.
+func (rt *Runtime) Steps() int { return rt.steps }
+
+// Spawn installs the body of process id. The body starts executing at the
+// process's first scheduled step. Must be called before Run/Step; each
+// process can be spawned once.
+func (rt *Runtime) Spawn(id int, body func(p *Proc)) {
+	if rt.started {
+		panic("sched: Spawn after Run")
+	}
+	p := rt.procs[id]
+	if p.spawned {
+		panic(fmt.Sprintf("sched: process %d spawned twice", id))
+	}
+	p.spawned = true
+	rt.wg.Add(1)
+	go func() {
+		defer rt.wg.Done()
+		defer func() {
+			if r := recover(); r != nil && r != errStopped {
+				panic(r)
+			}
+			p.state = stateExited
+			p.done <- struct{}{}
+		}()
+		<-p.grant
+		p.checkStopped()
+		p.steps++
+		body(p)
+	}()
+}
+
+// AddAux registers an auxiliary actor — a step function scheduled like a
+// process but executed inline (the adversary's word cursor is one). Its
+// actor ID is n plus the registration index, returned for use in scripted
+// policies.
+func (rt *Runtime) AddAux(name string, runnable func() bool, step func()) int {
+	if rt.started {
+		panic("sched: AddAux after Run")
+	}
+	rt.aux = append(rt.aux, auxActor{name: name, runnable: runnable, step: step})
+	return rt.n + len(rt.aux) - 1
+}
+
+// Crash marks the process as crashed: it is never scheduled again. Its
+// goroutine is reclaimed at Stop. Matches the crash-fault model where up to
+// n−1 processes may stop taking steps.
+func (rt *Runtime) Crash(id int) {
+	if rt.procs[id].state != stateExited {
+		rt.procs[id].state = stateCrashed
+	}
+}
+
+// Crashed reports whether the process has been crashed.
+func (rt *Runtime) Crashed(id int) bool { return rt.procs[id].state == stateCrashed }
+
+// Exited reports whether the process's body has returned. Schedule drivers
+// use it to stop directing steps at finished processes.
+func (rt *Runtime) Exited(id int) bool { return rt.procs[id].state == stateExited }
+
+func (rt *Runtime) runnableIDs(buf []int) []int {
+	buf = buf[:0]
+	for i, p := range rt.procs {
+		if !p.spawned {
+			continue
+		}
+		switch p.state {
+		case stateReady:
+			buf = append(buf, i)
+		case stateGated:
+			if p.gate() {
+				buf = append(buf, i)
+			}
+		}
+	}
+	for j, a := range rt.aux {
+		if a.runnable() {
+			buf = append(buf, rt.n+j)
+		}
+	}
+	return buf
+}
+
+// Step schedules one actor step. It returns false — without scheduling —
+// when no actor is runnable (the execution has stalled or completed).
+func (rt *Runtime) Step() bool {
+	if rt.policy == nil {
+		panic("sched: no policy installed")
+	}
+	rt.started = true
+	runnable := rt.runnableIDs(make([]int, 0, rt.n+len(rt.aux)))
+	if len(runnable) == 0 {
+		return false
+	}
+	id := rt.policy.Next(runnable, rt.steps)
+	if !contains(runnable, id) {
+		panic(fmt.Sprintf("sched: policy chose non-runnable actor %d from %v", id, runnable))
+	}
+	rt.steps++
+	if id >= rt.n {
+		rt.aux[id-rt.n].step()
+		return true
+	}
+	p := rt.procs[id]
+	p.grant <- struct{}{}
+	<-p.done
+	return true
+}
+
+// Run schedules up to maxSteps steps and returns the number scheduled; fewer
+// than maxSteps means the execution stalled (every process parked on a gate
+// that never opens, crashed, or exited).
+func (rt *Runtime) Run(maxSteps int) int {
+	for i := 0; i < maxSteps; i++ {
+		if !rt.Step() {
+			return i
+		}
+	}
+	return maxSteps
+}
+
+// Stop terminates all process goroutines and waits for them to exit. The
+// runtime cannot be used afterwards. Safe to call multiple times.
+func (rt *Runtime) Stop() {
+	if rt.stopped {
+		return
+	}
+	rt.stopped = true
+	for _, p := range rt.procs {
+		if !p.spawned || p.state == stateExited {
+			continue
+		}
+		p.grant <- struct{}{}
+		<-p.done
+	}
+	rt.wg.Wait()
+}
+
+func contains(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,100 @@
+// Package sketch implements the construction of Appendix B: from the views a
+// timed adversary Aτ attaches to responses, build the history x~(E) — the
+// sketch of the execution's input word in which operations may "shrink"
+// (Figure 7). Theorem 6.1 gives the two properties monitors rely on:
+// precedence in x(E) is preserved in x~(E), and x~(E) is the input of an
+// execution indistinguishable from E.
+package sketch
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/drv-go/drv/internal/adversary"
+	"github.com/drv-go/drv/internal/word"
+)
+
+// ErrIncomparableViews is returned when the collected views do not form a
+// containment chain. Atomic-snapshot timed adversaries never trigger it;
+// collect-based ones can (the complication addressed in [41]).
+var ErrIncomparableViews = errors.New("sketch: views are not totally ordered by containment")
+
+// Triple is one observed interaction with Aτ: the invocation a process sent,
+// the identifier Aτ assigned, the response, and the view attached to it.
+// Triples are what Figure 8's monitor stores in its shared array M.
+type Triple struct {
+	ID   word.OpID
+	Inv  word.Symbol
+	Res  word.Symbol
+	View adversary.View
+}
+
+// Resolver maps announced invocation identifiers to their symbols. Views may
+// contain invocations of operations whose responses the collector never saw;
+// the resolver (backed by Aτ's announcement log) supplies their symbols.
+type Resolver func(word.OpID) word.Symbol
+
+// Build constructs the sketch history from the triples, per Appendix B:
+// distinct views are sorted in ascending containment order; for each view in
+// turn, first the invocations in its difference with the previous view are
+// appended, then the responses of all operations carrying exactly that view.
+// Within a batch, symbols are appended in operation-identifier order — one
+// canonical representative of the construction's equivalence class (any
+// batch order yields the same precedence relations).
+func Build(n int, triples []Triple, resolve Resolver) (word.Word, error) {
+	if len(triples) == 0 {
+		return nil, nil
+	}
+	// Distinct views, deduplicated by canonical key.
+	distinct := map[string]adversary.View{}
+	byKey := map[string][]Triple{}
+	for _, tr := range triples {
+		if !tr.View.Contains(tr.ID) {
+			return nil, fmt.Errorf("sketch: triple %v has view %v missing its own invocation", tr.ID, tr.View)
+		}
+		k := tr.View.Key()
+		distinct[k] = tr.View
+		byKey[k] = append(byKey[k], tr)
+	}
+	views := make([]adversary.View, 0, len(distinct))
+	for _, v := range distinct {
+		views = append(views, v)
+	}
+	sort.Slice(views, func(i, j int) bool { return views[i].Total() < views[j].Total() })
+	for i := 1; i < len(views); i++ {
+		if !views[i-1].Leq(views[i]) {
+			return nil, fmt.Errorf("%w: %v vs %v", ErrIncomparableViews, views[i-1], views[i])
+		}
+	}
+
+	var out word.Word
+	prev := adversary.NewView(make([]int, n))
+	for _, v := range views {
+		// Step 1: invocations newly visible in this view.
+		var fresh []word.OpID
+		v.Diff(prev, func(id word.OpID) { fresh = append(fresh, id) })
+		sort.Slice(fresh, func(i, j int) bool {
+			if fresh[i].Proc != fresh[j].Proc {
+				return fresh[i].Proc < fresh[j].Proc
+			}
+			return fresh[i].Idx < fresh[j].Idx
+		})
+		for _, id := range fresh {
+			out = append(out, resolve(id))
+		}
+		// Step 2: responses of the operations carrying exactly this view.
+		batch := byKey[v.Key()]
+		sort.Slice(batch, func(i, j int) bool {
+			if batch[i].ID.Proc != batch[j].ID.Proc {
+				return batch[i].ID.Proc < batch[j].ID.Proc
+			}
+			return batch[i].ID.Idx < batch[j].ID.Idx
+		})
+		for _, tr := range batch {
+			out = append(out, tr.Res)
+		}
+		prev = v
+	}
+	return out, nil
+}

@@ -1,0 +1,188 @@
+package sketch
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/drv-go/drv/internal/adversary"
+	"github.com/drv-go/drv/internal/word"
+)
+
+// triple builds a test triple for process proc, operation idx, with the
+// given per-process announce counts as its view.
+func triple(proc, idx int, op string, counts ...int) Triple {
+	return Triple{
+		ID:   word.OpID{Proc: proc, Idx: idx},
+		Inv:  word.NewInv(proc, op, nil),
+		Res:  word.NewRes(proc, op, word.Unit{}),
+		View: adversary.NewView(counts),
+	}
+}
+
+// resolver returns invocation symbols for any identifier.
+func resolver(id word.OpID) word.Symbol {
+	return word.NewInv(id.Proc, "op", nil)
+}
+
+func TestBuildEmpty(t *testing.T) {
+	w, err := Build(2, nil, resolver)
+	if err != nil || len(w) != 0 {
+		t.Errorf("empty build: %v, %v", w, err)
+	}
+}
+
+func TestBuildSequential(t *testing.T) {
+	// Two ops with strictly growing views: full precedence.
+	trs := []Triple{
+		triple(0, 0, "op", 1, 0),
+		triple(1, 0, "op", 1, 1),
+	}
+	w, err := Build(2, trs, resolver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expected: <0 >0 <1 >1.
+	if len(w) != 4 {
+		t.Fatalf("built word has %d symbols, want 4: %v", len(w), w)
+	}
+	ops := word.Operations(w)
+	if len(ops) != 2 {
+		t.Fatalf("built word has %d operations", len(ops))
+	}
+	if !ops[0].Precedes(ops[1]) {
+		t.Error("smaller view's operation should precede")
+	}
+}
+
+func TestBuildSameViewConcurrent(t *testing.T) {
+	// Two ops with the same view: both invocations before both responses.
+	trs := []Triple{
+		triple(0, 0, "op", 1, 1),
+		triple(1, 0, "op", 1, 1),
+	}
+	w, err := Build(2, trs, resolver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := word.Operations(w)
+	if len(ops) != 2 {
+		t.Fatalf("%d operations", len(ops))
+	}
+	if !ops[0].ConcurrentWith(ops[1]) {
+		t.Errorf("same-view operations should be concurrent: %v", w)
+	}
+}
+
+func TestBuildPendingInvocations(t *testing.T) {
+	// A view containing an invocation with no published triple yields a
+	// pending operation.
+	trs := []Triple{
+		triple(1, 0, "op", 1, 1), // sees p0's announce, p0's op unfinished
+	}
+	w, err := Build(2, trs, resolver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pend := word.PendingOps(w)
+	if len(pend) != 1 || pend[0].ID.Proc != 0 {
+		t.Errorf("expected p0's operation pending, got %v (word %v)", pend, w)
+	}
+}
+
+func TestBuildRejectsViewMissingOwnInvocation(t *testing.T) {
+	trs := []Triple{triple(0, 0, "op", 0, 1)} // view says p0 announced nothing
+	if _, err := Build(2, trs, resolver); err == nil {
+		t.Error("expected rejection of a view missing its own invocation")
+	}
+}
+
+func TestBuildRejectsIncomparableViews(t *testing.T) {
+	trs := []Triple{
+		triple(0, 0, "op", 1, 0),
+		triple(1, 0, "op", 0, 1), // incomparable with the first
+	}
+	_, err := Build(2, trs, resolver)
+	if err == nil {
+		t.Fatal("expected incomparable-view error")
+	}
+	if !strings.Contains(err.Error(), ErrIncomparableViews.Error()) {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+// TestTheorem61PrecedencePreservation is the property test for Theorem
+// 6.1(1): operations ordered in the input stay ordered in the sketch. The
+// input here is the view structure itself — precedence in x(E) implies the
+// earlier operation's view is contained in every view snapshotted after it,
+// in particular the later operation's.
+func TestTheorem61PrecedencePreservation(t *testing.T) {
+	f := func(seedRaw uint32) bool {
+		seed := int64(seedRaw)
+		// Build a chain of k sequential operations across 3 processes with
+		// strictly growing views, interleaved with some same-view pairs.
+		k := int(seed%5) + 2
+		counts := []int{0, 0, 0}
+		var trs []Triple
+		idx := []int{0, 0, 0}
+		for i := 0; i < k; i++ {
+			p := int((seed >> (i % 8)) % 3)
+			counts[p]++
+			trs = append(trs, triple(p, idx[p], "op", counts[0], counts[1], counts[2]))
+			idx[p]++
+		}
+		w, err := Build(3, trs, resolver)
+		if err != nil {
+			return false
+		}
+		ops := word.Operations(w)
+		// The triples were created in strictly growing view order, so each
+		// complete operation must precede or be concurrent with later ones —
+		// never follow them.
+		for i := 0; i < len(ops); i++ {
+			for j := i + 1; j < len(ops); j++ {
+				if ops[j].Precedes(ops[i]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRenderTimeline(t *testing.T) {
+	b := word.NewB()
+	b.Op(0, "write", word.Int(1), word.Unit{})
+	b.Op(1, "read", nil, word.Int(1))
+	out := RenderTimeline(b.Word())
+	if !strings.Contains(out, "p0") || !strings.Contains(out, "p1") {
+		t.Errorf("timeline missing process rows:\n%s", out)
+	}
+	if !strings.Contains(out, "[") || !strings.Contains(out, "]") {
+		t.Errorf("timeline missing interval brackets:\n%s", out)
+	}
+	// Valid UTF-8 with no replacement characters (regression for the
+	// byte-indexed render bug).
+	if strings.ContainsRune(out, '�') {
+		t.Errorf("timeline contains replacement characters:\n%s", out)
+	}
+}
+
+func TestRenderComparison(t *testing.T) {
+	b := word.NewB()
+	b.Op(0, "write", word.Int(1), word.Unit{})
+	w := b.Word()
+	out := RenderComparison(w, w)
+	if !strings.Contains(out, "x(E)") || !strings.Contains(out, "x~(E)") {
+		t.Errorf("comparison missing headings:\n%s", out)
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	if out := RenderTimeline(nil); !strings.Contains(out, "empty") {
+		t.Errorf("empty render: %q", out)
+	}
+}

@@ -1,0 +1,319 @@
+package spec
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"github.com/drv-go/drv/internal/word"
+)
+
+// Operation names shared by the objects in this package. Using shared
+// constants keeps generators, checkers and monitors in agreement.
+const (
+	OpRead   = "read"
+	OpWrite  = "write"
+	OpInc    = "inc"
+	OpAppend = "append"
+	OpGet    = "get"
+	OpEnq    = "enq"
+	OpDeq    = "deq"
+	OpPush   = "push"
+	OpPop    = "pop"
+)
+
+// Empty is the return value of deq/pop on an empty queue/stack.
+const Empty = word.Int(-1)
+
+// ---------------------------------------------------------------- register
+
+// Register returns the sequential read/write register of Example 1 with
+// initial value 0: write(x) stores x, read() returns the current value.
+func Register() Object { return register{} }
+
+type register struct{}
+
+func (register) Name() string { return "register" }
+func (register) Init() State  { return regState(0) }
+func (register) Ops() []OpSig {
+	return []OpSig{{Name: OpWrite, Mutating: true}, {Name: OpRead}}
+}
+func (register) RandArg(op string, rng *rand.Rand) word.Value {
+	if op == OpWrite {
+		return word.Int(rng.Intn(100))
+	}
+	return word.Unit{}
+}
+
+type regState word.Int
+
+func (s regState) Key() string { return fmt.Sprintf("r%d", int64(s)) }
+func (s regState) Apply(op string, arg word.Value) (State, word.Value, bool) {
+	switch op {
+	case OpWrite:
+		v, ok := arg.(word.Int)
+		if !ok {
+			return s, nil, false
+		}
+		return regState(v), word.Unit{}, true
+	case OpRead:
+		return s, word.Int(s), true
+	default:
+		return s, nil, false
+	}
+}
+
+// ---------------------------------------------------------------- counter
+
+// Counter returns the sequential counter of Example 3 with initial value 0:
+// inc() adds one, read() returns the current value.
+func Counter() Object { return counter{} }
+
+type counter struct{}
+
+func (counter) Name() string { return "counter" }
+func (counter) Init() State  { return ctrState(0) }
+func (counter) Ops() []OpSig {
+	return []OpSig{{Name: OpInc, Mutating: true}, {Name: OpRead}}
+}
+func (counter) RandArg(string, *rand.Rand) word.Value { return word.Unit{} }
+
+type ctrState word.Int
+
+func (s ctrState) Key() string { return fmt.Sprintf("c%d", int64(s)) }
+func (s ctrState) Apply(op string, arg word.Value) (State, word.Value, bool) {
+	switch op {
+	case OpInc:
+		return s + 1, word.Unit{}, true
+	case OpRead:
+		return s, word.Int(s), true
+	default:
+		return s, nil, false
+	}
+}
+
+// ---------------------------------------------------------------- ledger
+
+// Ledger returns the sequential ledger object of Example 2 (after [3]): its
+// state is a list of records, append(r) appends r, get() returns the list.
+func Ledger() Object { return ledger{} }
+
+type ledger struct{}
+
+func (ledger) Name() string { return "ledger" }
+func (ledger) Init() State  { return ledState{} }
+func (ledger) Ops() []OpSig {
+	return []OpSig{{Name: OpAppend, Mutating: true}, {Name: OpGet}}
+}
+func (ledger) RandArg(op string, rng *rand.Rand) word.Value {
+	if op == OpAppend {
+		return word.Rec(fmt.Sprintf("r%d", rng.Intn(1000)))
+	}
+	return word.Unit{}
+}
+
+type ledState struct {
+	recs word.Seq
+}
+
+func (s ledState) Key() string {
+	var b strings.Builder
+	b.WriteByte('l')
+	for _, r := range s.recs {
+		b.WriteString(string(r))
+		b.WriteByte('|')
+	}
+	return b.String()
+}
+
+func (s ledState) Apply(op string, arg word.Value) (State, word.Value, bool) {
+	switch op {
+	case OpAppend:
+		r, ok := arg.(word.Rec)
+		if !ok {
+			return s, nil, false
+		}
+		next := make(word.Seq, 0, len(s.recs)+1)
+		next = append(next, s.recs...)
+		next = append(next, r)
+		return ledState{recs: next}, word.Unit{}, true
+	case OpGet:
+		return s, s.recs.Clone(), true
+	default:
+		return s, nil, false
+	}
+}
+
+// ---------------------------------------------------------------- vector
+
+// OpScan is the scan operation of the Vector object.
+const OpScan = "scan"
+
+// OpUpd returns the update operation name for cell i of a Vector object.
+func OpUpd(i int) string { return fmt.Sprintf("upd%d", i) }
+
+// Vector returns the n-cell snapshot-object specification: upd<i>(v) writes v
+// into cell i and scan() returns the whole vector, encoded as a word.Seq of
+// decimal strings. It is the sequential specification against which the
+// wait-free snapshot protocol (package mem) is validated.
+func Vector(n int) Object { return vector{n: n} }
+
+type vector struct {
+	n int
+}
+
+func (v vector) Name() string { return fmt.Sprintf("vector%d", v.n) }
+func (v vector) Init() State {
+	cells := make(word.Seq, v.n)
+	for i := range cells {
+		cells[i] = "0"
+	}
+	return vecState{cells: cells}
+}
+func (v vector) Ops() []OpSig {
+	sigs := make([]OpSig, 0, v.n+1)
+	for i := 0; i < v.n; i++ {
+		sigs = append(sigs, OpSig{Name: OpUpd(i), Mutating: true})
+	}
+	return append(sigs, OpSig{Name: OpScan})
+}
+func (v vector) RandArg(op string, rng *rand.Rand) word.Value {
+	if op == OpScan {
+		return word.Unit{}
+	}
+	return word.Int(rng.Intn(100))
+}
+
+type vecState struct {
+	cells word.Seq
+}
+
+func (s vecState) Key() string { return "v" + s.cells.String() }
+
+func (s vecState) Apply(op string, arg word.Value) (State, word.Value, bool) {
+	if op == OpScan {
+		return s, s.cells.Clone(), true
+	}
+	var i int
+	if _, err := fmt.Sscanf(op, "upd%d", &i); err != nil || i < 0 || i >= len(s.cells) {
+		return s, nil, false
+	}
+	v, ok := arg.(word.Int)
+	if !ok {
+		return s, nil, false
+	}
+	next := s.cells.Clone()
+	next[i] = word.Rec(v.String())
+	return vecState{cells: next}, word.Unit{}, true
+}
+
+// ---------------------------------------------------------------- queue
+
+// Queue returns a sequential FIFO queue of integers: enq(x) appends, deq()
+// removes and returns the head, or Empty when the queue is empty. Queues are
+// among the objects for which [17] proved no sound-and-complete asynchronous
+// monitor exists, motivating strong decidability's impossibility.
+func Queue() Object { return queue{} }
+
+type queue struct{}
+
+func (queue) Name() string { return "queue" }
+func (queue) Init() State  { return queueState{} }
+func (queue) Ops() []OpSig {
+	return []OpSig{{Name: OpEnq, Mutating: true}, {Name: OpDeq, Mutating: true}}
+}
+func (queue) RandArg(op string, rng *rand.Rand) word.Value {
+	if op == OpEnq {
+		return word.Int(rng.Intn(100))
+	}
+	return word.Unit{}
+}
+
+type queueState struct {
+	items string // canonical encoding: comma-joined decimal items
+}
+
+func (s queueState) Key() string { return "q" + s.items }
+
+func (s queueState) Apply(op string, arg word.Value) (State, word.Value, bool) {
+	switch op {
+	case OpEnq:
+		v, ok := arg.(word.Int)
+		if !ok {
+			return s, nil, false
+		}
+		enc := v.String()
+		if s.items != "" {
+			enc = s.items + "," + enc
+		}
+		return queueState{items: enc}, word.Unit{}, true
+	case OpDeq:
+		if s.items == "" {
+			return s, Empty, true
+		}
+		head, rest, _ := strings.Cut(s.items, ",")
+		var v word.Int
+		fmt.Sscanf(head, "%d", (*int64)(&v))
+		return queueState{items: rest}, v, true
+	default:
+		return s, nil, false
+	}
+}
+
+// ---------------------------------------------------------------- stack
+
+// Stack returns a sequential LIFO stack of integers: push(x), pop() returns
+// the top or Empty when empty.
+func Stack() Object { return stack{} }
+
+type stack struct{}
+
+func (stack) Name() string { return "stack" }
+func (stack) Init() State  { return stackState{} }
+func (stack) Ops() []OpSig {
+	return []OpSig{{Name: OpPush, Mutating: true}, {Name: OpPop, Mutating: true}}
+}
+func (stack) RandArg(op string, rng *rand.Rand) word.Value {
+	if op == OpPush {
+		return word.Int(rng.Intn(100))
+	}
+	return word.Unit{}
+}
+
+type stackState struct {
+	items string
+}
+
+func (s stackState) Key() string { return "s" + s.items }
+
+func (s stackState) Apply(op string, arg word.Value) (State, word.Value, bool) {
+	switch op {
+	case OpPush:
+		v, ok := arg.(word.Int)
+		if !ok {
+			return s, nil, false
+		}
+		enc := v.String()
+		if s.items != "" {
+			enc = s.items + "," + enc
+		}
+		return stackState{items: enc}, word.Unit{}, true
+	case OpPop:
+		if s.items == "" {
+			return s, Empty, true
+		}
+		i := strings.LastIndexByte(s.items, ',')
+		var top string
+		var rest string
+		if i < 0 {
+			top, rest = s.items, ""
+		} else {
+			top, rest = s.items[i+1:], s.items[:i]
+		}
+		var v word.Int
+		fmt.Sscanf(top, "%d", (*int64)(&v))
+		return stackState{items: rest}, v, true
+	default:
+		return s, nil, false
+	}
+}

@@ -1,0 +1,67 @@
+// Package spec defines sequential object specifications: deterministic state
+// machines against which the consistency checkers (package check) and the
+// predictive monitors (package monitor) validate concurrent histories. The
+// paper's examples — register, counter, ledger (Examples 1–4) — are provided,
+// plus the queue and stack used by the linearizability results of [17] that
+// Section 6.2 generalizes.
+package spec
+
+import (
+	"math/rand"
+
+	"github.com/drv-go/drv/internal/word"
+)
+
+// State is an immutable sequential-object state. Apply never mutates the
+// receiver; it returns the successor state, so checker searches can branch.
+type State interface {
+	// Apply runs one operation on the state and returns the successor state
+	// and the operation's return value. ok is false when the operation name
+	// is unknown; total objects (footnote 3 of the paper) accept every
+	// operation in every state.
+	Apply(op string, arg word.Value) (next State, ret word.Value, ok bool)
+	// Key is a canonical encoding of the state used to memoize checker
+	// searches. Two states with equal keys must be behaviourally identical.
+	Key() string
+}
+
+// OpSig describes one operation of an object's interface, for workload
+// generators.
+type OpSig struct {
+	Name string
+	// Mutating operations change the object state (write, inc, append, enq,
+	// push); generators use this to balance workloads.
+	Mutating bool
+}
+
+// Object is a sequential object: a name, an initial state, and an operation
+// signature set.
+type Object interface {
+	// Name returns the object's name, e.g. "register".
+	Name() string
+	// Init returns the initial state.
+	Init() State
+	// Ops lists the object's operations.
+	Ops() []OpSig
+	// RandArg draws a random valid argument for the named operation.
+	RandArg(op string, rng *rand.Rand) word.Value
+}
+
+// Run applies the operations of a sequential word (alternating matched
+// invocation/response pairs, no interleaving) to the object's initial state
+// and reports whether every response matches the specification. It is the
+// "valid sequential history" test used throughout Section 2.
+func Run(obj Object, ops []word.Operation) bool {
+	st := obj.Init()
+	for _, o := range ops {
+		next, ret, ok := st.Apply(o.Op, o.Arg)
+		if !ok {
+			return false
+		}
+		if o.Ret != nil && !ret.Equal(o.Ret) {
+			return false
+		}
+		st = next
+	}
+	return true
+}

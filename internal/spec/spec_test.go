@@ -1,0 +1,154 @@
+package spec
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/drv-go/drv/internal/word"
+)
+
+func TestRegister(t *testing.T) {
+	r := Register()
+	st := r.Init()
+	st2, ret, ok := st.Apply(OpRead, word.Unit{})
+	if !ok || !ret.Equal(word.Int(0)) {
+		t.Fatalf("initial read = %v ok=%v", ret, ok)
+	}
+	st3, ret, ok := st2.Apply(OpWrite, word.Int(7))
+	if !ok || !ret.Equal(word.Unit{}) {
+		t.Fatalf("write = %v ok=%v", ret, ok)
+	}
+	// Old state is unchanged (immutability).
+	_, ret, _ = st2.Apply(OpRead, word.Unit{})
+	if !ret.Equal(word.Int(0)) {
+		t.Errorf("old state mutated: read = %v", ret)
+	}
+	_, ret, _ = st3.Apply(OpRead, word.Unit{})
+	if !ret.Equal(word.Int(7)) {
+		t.Errorf("new state read = %v, want 7", ret)
+	}
+	if _, _, ok := st.Apply("bogus", word.Unit{}); ok {
+		t.Error("unknown op should be rejected")
+	}
+	if _, _, ok := st.Apply(OpWrite, word.Unit{}); ok {
+		t.Error("write with non-int arg should be rejected")
+	}
+}
+
+func TestCounter(t *testing.T) {
+	c := Counter()
+	st := c.Init()
+	for i := 0; i < 3; i++ {
+		st, _, _ = st.Apply(OpInc, word.Unit{})
+	}
+	_, ret, ok := st.Apply(OpRead, word.Unit{})
+	if !ok || !ret.Equal(word.Int(3)) {
+		t.Errorf("read after 3 incs = %v", ret)
+	}
+}
+
+func TestLedger(t *testing.T) {
+	l := Ledger()
+	st := l.Init()
+	_, ret, ok := st.Apply(OpGet, word.Unit{})
+	if !ok || !ret.Equal(word.Seq{}) {
+		t.Fatalf("initial get = %v", ret)
+	}
+	st, _, _ = st.Apply(OpAppend, word.Rec("a"))
+	st, _, _ = st.Apply(OpAppend, word.Rec("b"))
+	_, ret, _ = st.Apply(OpGet, word.Unit{})
+	if !ret.Equal(word.Seq{"a", "b"}) {
+		t.Errorf("get = %v, want [a·b]", ret)
+	}
+}
+
+func TestQueue(t *testing.T) {
+	q := Queue()
+	st := q.Init()
+	_, ret, _ := st.Apply(OpDeq, word.Unit{})
+	if !ret.Equal(Empty) {
+		t.Errorf("deq on empty = %v", ret)
+	}
+	st, _, _ = st.Apply(OpEnq, word.Int(10))
+	st, _, _ = st.Apply(OpEnq, word.Int(20))
+	st, ret, _ = st.Apply(OpDeq, word.Unit{})
+	if !ret.Equal(word.Int(10)) {
+		t.Errorf("first deq = %v, want 10 (FIFO)", ret)
+	}
+	st, ret, _ = st.Apply(OpDeq, word.Unit{})
+	if !ret.Equal(word.Int(20)) {
+		t.Errorf("second deq = %v, want 20", ret)
+	}
+	_, ret, _ = st.Apply(OpDeq, word.Unit{})
+	if !ret.Equal(Empty) {
+		t.Errorf("deq after drain = %v", ret)
+	}
+}
+
+func TestStack(t *testing.T) {
+	s := Stack()
+	st := s.Init()
+	st, _, _ = st.Apply(OpPush, word.Int(10))
+	st, _, _ = st.Apply(OpPush, word.Int(20))
+	st, ret, _ := st.Apply(OpPop, word.Unit{})
+	if !ret.Equal(word.Int(20)) {
+		t.Errorf("first pop = %v, want 20 (LIFO)", ret)
+	}
+	st, ret, _ = st.Apply(OpPop, word.Unit{})
+	if !ret.Equal(word.Int(10)) {
+		t.Errorf("second pop = %v, want 10", ret)
+	}
+	_, ret, _ = st.Apply(OpPop, word.Unit{})
+	if !ret.Equal(Empty) {
+		t.Errorf("pop on empty = %v", ret)
+	}
+}
+
+func TestStateKeysDistinguish(t *testing.T) {
+	// Distinct states must have distinct keys or the memoized checkers would
+	// conflate them.
+	q := Queue()
+	a := q.Init()
+	b, _, _ := a.Apply(OpEnq, word.Int(1))
+	c, _, _ := b.Apply(OpEnq, word.Int(2))
+	d, _, _ := a.Apply(OpEnq, word.Int(12))
+	keys := map[string]bool{a.Key(): true, b.Key(): true, c.Key(): true, d.Key(): true}
+	if len(keys) != 4 {
+		t.Errorf("queue state keys collide: %v %v %v %v", a.Key(), b.Key(), c.Key(), d.Key())
+	}
+	// enq(1);enq(2) must differ from enq(12).
+	if c.Key() == d.Key() {
+		t.Errorf("ambiguous encoding: %q vs %q", c.Key(), d.Key())
+	}
+}
+
+func TestRun(t *testing.T) {
+	reg := Register()
+	good := word.Operations(word.NewB().
+		Op(0, OpWrite, word.Int(3), word.Unit{}).
+		Op(1, OpRead, word.Unit{}, word.Int(3)).
+		Word())
+	if !Run(reg, good) {
+		t.Error("valid sequential history rejected")
+	}
+	bad := word.Operations(word.NewB().
+		Op(0, OpWrite, word.Int(3), word.Unit{}).
+		Op(1, OpRead, word.Unit{}, word.Int(4)).
+		Word())
+	if Run(reg, bad) {
+		t.Error("invalid sequential history accepted")
+	}
+}
+
+func TestRandArgTypes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, obj := range []Object{Register(), Counter(), Ledger(), Queue(), Stack()} {
+		for _, sig := range obj.Ops() {
+			v := obj.RandArg(sig.Name, rng)
+			st := obj.Init()
+			if _, _, ok := st.Apply(sig.Name, v); !ok {
+				t.Errorf("%s.%s rejects its own RandArg %v", obj.Name(), sig.Name, v)
+			}
+		}
+	}
+}

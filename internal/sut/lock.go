@@ -1,0 +1,27 @@
+package sut
+
+import (
+	"github.com/drv-go/drv/internal/mem"
+	"github.com/drv-go/drv/internal/sched"
+)
+
+// lock is a CAS-based test-and-set spinlock. Implementations that need a
+// multi-step critical section (ledger, queue, stack) use it to obtain
+// linearizable behaviour: the operation takes effect atomically at the
+// critical section. Spinning is acceptable in the cooperative model because
+// every fair policy schedules the holder again; the substrate's wait-free
+// requirements apply to monitors, not to the systems they inspect.
+type lock struct {
+	cell mem.CAS
+}
+
+// acquire spins until the lock is free; each attempt is one step.
+func (l *lock) acquire(p *sched.Proc) {
+	for !l.cell.CompareAndSwap(p, 0, 1) {
+	}
+}
+
+// release frees the lock; one step.
+func (l *lock) release(p *sched.Proc) {
+	l.cell.Store(p, 0)
+}

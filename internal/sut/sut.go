@@ -1,0 +1,110 @@
+// Package sut provides systems under test: real concurrent object
+// implementations running on the shared-memory substrate, exposed through the
+// adversary.Service interface so monitors interact with them exactly as with
+// the abstract adversary A. Where package adversary exhibits scripted
+// behaviours (any word, per Claim 3.1), this package exhibits emergent
+// behaviours: the responses are computed by actual wait-free or lock-free
+// algorithms whose interleaving the scheduler controls. Each object comes in
+// a correct variant and one or more seeded-bug variants, so end-to-end
+// experiments can demonstrate monitors both accepting correct deployments and
+// catching real bugs — the deployment story of [17] that motivates the paper.
+package sut
+
+import (
+	"fmt"
+
+	"github.com/drv-go/drv/internal/adversary"
+	"github.com/drv-go/drv/internal/sched"
+	"github.com/drv-go/drv/internal/word"
+)
+
+// Impl is a concurrent object implementation. Invoke executes one operation
+// on behalf of process p, consuming p's scheduler steps through shared-memory
+// operations, and returns the response value. Implementations must tolerate
+// arbitrary interleavings of concurrent Invoke calls by different processes;
+// the scheduler guarantees only one process runs between Pause points.
+type Impl interface {
+	// Name identifies the implementation in experiment reports.
+	Name() string
+	// Invoke runs op(arg) for process p and returns its response value.
+	Invoke(p *sched.Proc, op string, arg word.Value) word.Value
+}
+
+// Workload decides the invocations each monitor process sends, resolving
+// Line 01's nondeterministic pick for deployments (where no adversary script
+// exists).
+type Workload interface {
+	// Next returns the id-th process's next operation, or ok=false when the
+	// process's budget is exhausted and it should stop iterating.
+	Next(id int) (op string, arg word.Value, ok bool)
+}
+
+// Service adapts an Impl plus a Workload to the adversary.Service interface:
+// Send records the invocation event, Recv executes the operation and records
+// the response event. Between a process's send and receive events the
+// scheduler interleaves other processes freely, so operations genuinely
+// overlap and the recorded history is a concurrent history of the
+// implementation.
+type Service struct {
+	n    int
+	impl Impl
+	wl   Workload
+
+	history word.Word
+	pending []word.Symbol
+	opCount []int
+}
+
+var _ adversary.Service = (*Service)(nil)
+
+// NewService wires an implementation and a workload for n processes.
+func NewService(n int, impl Impl, wl Workload) *Service {
+	return &Service{
+		n:       n,
+		impl:    impl,
+		wl:      wl,
+		pending: make([]word.Symbol, n),
+		opCount: make([]int, n),
+	}
+}
+
+// Name returns the implementation's name.
+func (s *Service) Name() string { return s.impl.Name() }
+
+// NextInv implements adversary.Service using the workload.
+func (s *Service) NextInv(id int) (word.Symbol, bool) {
+	op, arg, ok := s.wl.Next(id)
+	if !ok {
+		return word.Symbol{}, false
+	}
+	return word.NewInv(id, op, arg), true
+}
+
+// Send implements adversary.Service: the invocation event of the operation.
+// It consumes one scheduler step, which is the event's position in real time.
+func (s *Service) Send(p *sched.Proc, v word.Symbol) {
+	if v.Proc != p.ID {
+		panic(fmt.Sprintf("sut: process %d sending symbol of process %d", p.ID, v.Proc))
+	}
+	p.Pause()
+	s.history = append(s.history, v)
+	s.pending[p.ID] = v
+}
+
+// Recv implements adversary.Service: it executes the operation body on the
+// shared-memory substrate (consuming the caller's steps) and then delivers
+// the response event.
+func (s *Service) Recv(p *sched.Proc) adversary.Response {
+	inv := s.pending[p.ID]
+	ret := s.impl.Invoke(p, inv.Op, inv.Val)
+	p.Pause()
+	res := word.NewRes(p.ID, inv.Op, ret)
+	s.history = append(s.history, res)
+	id := word.OpID{Proc: p.ID, Idx: s.opCount[p.ID]}
+	s.opCount[p.ID]++
+	return adversary.Response{Sym: res, ID: id}
+}
+
+// History implements adversary.Service: the concurrent history the
+// implementation exhibited, in real-time event order.
+func (s *Service) History() word.Word { return s.history.Clone() }

@@ -1,0 +1,89 @@
+package sut
+
+import (
+	"math/rand"
+
+	"github.com/drv-go/drv/internal/spec"
+	"github.com/drv-go/drv/internal/word"
+)
+
+// RandomWorkload draws each process's operations independently from the
+// object's signature, weighting mutating operations by MutateBias. Arguments
+// come from the object's RandArg with a per-process generator, so workloads
+// replay deterministically per (seed, process).
+type RandomWorkload struct {
+	obj    spec.Object
+	ops    []spec.OpSig
+	bias   float64
+	budget []int
+	rngs   []*rand.Rand
+}
+
+// NewRandomWorkload builds a workload of opsPerProc operations per process
+// with the given mutate bias in [0,1].
+func NewRandomWorkload(obj spec.Object, n, opsPerProc int, bias float64, seed int64) *RandomWorkload {
+	w := &RandomWorkload{
+		obj:    obj,
+		ops:    obj.Ops(),
+		bias:   bias,
+		budget: make([]int, n),
+		rngs:   make([]*rand.Rand, n),
+	}
+	for i := 0; i < n; i++ {
+		w.budget[i] = opsPerProc
+		w.rngs[i] = rand.New(rand.NewSource(seed + int64(i)*7919))
+	}
+	return w
+}
+
+// Next implements Workload.
+func (w *RandomWorkload) Next(id int) (string, word.Value, bool) {
+	if w.budget[id] <= 0 {
+		return "", nil, false
+	}
+	w.budget[id]--
+	rng := w.rngs[id]
+	var mutating, reading []spec.OpSig
+	for _, sig := range w.ops {
+		if sig.Mutating {
+			mutating = append(mutating, sig)
+		} else {
+			reading = append(reading, sig)
+		}
+	}
+	pool := reading
+	if len(mutating) > 0 && (len(reading) == 0 || rng.Float64() < w.bias) {
+		pool = mutating
+	}
+	sig := pool[rng.Intn(len(pool))]
+	arg := w.obj.RandArg(sig.Name, rng)
+	if _, ok := arg.(word.Unit); ok && sig.Name != spec.OpWrite {
+		// Reads/gets/incs carry no argument symbolically; use nil like the
+		// scripted sources so histories compare equal.
+		arg = nil
+	}
+	return sig.Name, arg, true
+}
+
+// ScriptWorkload replays fixed per-process operation scripts; used by
+// regression tests that need a specific interleaving potential.
+type ScriptWorkload struct {
+	scripts [][]word.Symbol
+	pos     []int
+}
+
+// NewScriptWorkload builds a workload from per-process invocation scripts.
+// Only the Op and Val fields of the symbols are used.
+func NewScriptWorkload(scripts [][]word.Symbol) *ScriptWorkload {
+	return &ScriptWorkload{scripts: scripts, pos: make([]int, len(scripts))}
+}
+
+// Next implements Workload.
+func (w *ScriptWorkload) Next(id int) (string, word.Value, bool) {
+	if w.pos[id] >= len(w.scripts[id]) {
+		return "", nil, false
+	}
+	s := w.scripts[id][w.pos[id]]
+	w.pos[id]++
+	return s.Op, s.Val, true
+}

@@ -1,0 +1,201 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/drv-go/drv/internal/word"
+)
+
+func sampleWord() word.Word {
+	return word.Word{
+		word.NewInv(0, "write", word.Int(3)),
+		word.NewInv(1, "read", nil),
+		word.NewRes(0, "write", word.Unit{}),
+		word.NewRes(1, "read", word.Int(3)),
+		word.NewInv(0, "append", word.Rec("r1")),
+		word.NewRes(0, "append", word.Unit{}),
+		word.NewInv(1, "get", nil),
+		word.NewRes(1, "get", word.Seq{"r1"}),
+	}
+}
+
+func TestRoundTripWord(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	member := true
+	if err := w.WriteMeta(Meta{N: 2, Lang: "LIN_REG", Member: &member, Seed: 7}); err != nil {
+		t.Fatal(err)
+	}
+	ww := sampleWord()
+	if err := w.WriteWord(ww); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteVerdict(0, "YES", 12); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteVerdict(1, "NO", 15); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	tr, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Meta.N != 2 || tr.Meta.Lang != "LIN_REG" || tr.Meta.Member == nil || !*tr.Meta.Member || tr.Meta.Seed != 7 {
+		t.Errorf("meta mismatch: %+v", tr.Meta)
+	}
+	if !tr.Word.Equal(ww) {
+		t.Errorf("word mismatch:\n got %v\nwant %v", tr.Word, ww)
+	}
+	if got := tr.Verdicts[0]; len(got) != 1 || got[0] != "YES" {
+		t.Errorf("verdicts[0] = %v", got)
+	}
+	if got := tr.Verdicts[1]; len(got) != 1 || got[0] != "NO" {
+		t.Errorf("verdicts[1] = %v", got)
+	}
+	if tr.Steps[1][0] != 15 {
+		t.Errorf("step = %d, want 15", tr.Steps[1][0])
+	}
+}
+
+func TestValueRoundTrip(t *testing.T) {
+	vals := []word.Value{
+		nil,
+		word.Unit{},
+		word.Int(0),
+		word.Int(-42),
+		word.Int(1 << 40),
+		word.Rec(""),
+		word.Rec("payload with spaces and \"quotes\""),
+		word.Seq{},
+		word.Seq{"a"},
+		word.Seq{"a", "b", "c"},
+	}
+	for _, v := range vals {
+		enc, err := EncodeValue(v)
+		if err != nil {
+			t.Fatalf("encode %v: %v", v, err)
+		}
+		dec, err := DecodeValue(enc)
+		if err != nil {
+			t.Fatalf("decode %v: %v", v, err)
+		}
+		switch {
+		case v == nil:
+			if dec != nil {
+				t.Errorf("nil round-trips to %v", dec)
+			}
+		default:
+			if dec == nil || !v.Equal(dec) {
+				t.Errorf("%v round-trips to %v", v, dec)
+			}
+		}
+	}
+}
+
+func TestEncodeValueUnknownType(t *testing.T) {
+	type alien struct{ word.Value }
+	if _, err := EncodeValue(alien{}); err == nil {
+		t.Error("expected error for unknown value type")
+	}
+}
+
+func TestDecodeValueUnknownTag(t *testing.T) {
+	if _, err := DecodeValue(&Value{T: "blob"}); err == nil {
+		t.Error("expected error for unknown tag")
+	}
+}
+
+func TestDecodeSymbolErrors(t *testing.T) {
+	if _, err := DecodeSymbol(Event{Kind: KindMeta}); err == nil {
+		t.Error("expected error decoding meta as symbol")
+	}
+	if _, err := DecodeSymbol(Event{Kind: KindSym, Sym: "bogus"}); err == nil {
+		t.Error("expected error for bogus symbol kind")
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(strings.NewReader("{not json}\n")); err == nil {
+		t.Error("expected parse error")
+	}
+	if _, err := Read(strings.NewReader(`{"kind":"wat"}` + "\n")); err == nil {
+		t.Error("expected unknown-kind error")
+	}
+}
+
+func TestReadSkipsBlankLines(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WriteSymbol(word.NewInv(0, "inc", nil)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	in := "\n" + buf.String() + "\n\n"
+	tr, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Word) != 1 {
+		t.Fatalf("got %d symbols, want 1", len(tr.Word))
+	}
+}
+
+// randomWord builds an arbitrary well-formed-ish word for property testing
+// of the encoding: the encoding must round-trip any symbol sequence, not just
+// well-formed ones.
+func randomWord(rng *rand.Rand, n int) word.Word {
+	ops := []string{"read", "write", "inc", "append", "get"}
+	w := make(word.Word, n)
+	for i := range w {
+		var v word.Value
+		switch rng.Intn(4) {
+		case 0:
+			v = word.Int(rng.Int63n(100) - 50)
+		case 1:
+			v = word.Unit{}
+		case 2:
+			v = word.Rec("r" + string(rune('a'+rng.Intn(26))))
+		case 3:
+			v = nil
+		}
+		k := word.Inv
+		if rng.Intn(2) == 0 {
+			k = word.Res
+		}
+		w[i] = word.Symbol{Proc: rng.Intn(4), Kind: k, Op: ops[rng.Intn(len(ops))], Val: v}
+	}
+	return w
+}
+
+func TestPropertyRoundTrip(t *testing.T) {
+	f := func(seed int64, size uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ww := randomWord(rng, int(size%64))
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		if err := w.WriteWord(ww); err != nil {
+			return false
+		}
+		if err := w.Flush(); err != nil {
+			return false
+		}
+		tr, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		return tr.Word.Equal(ww)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,44 @@
+package word
+
+// SamePrecedence reports whether two words describe the same concurrent
+// history up to reordering within batches that do not affect operation
+// precedence: the operation sets coincide (same identifiers, operations,
+// arguments and results, pending status) and the real-time precedence
+// relations agree. This is the equivalence under which Appendix B's sketch
+// x~(E) is defined ("x~(E) denotes an equivalence class of histories"), and
+// the sense in which tight executions satisfy x(E) = x~(E).
+func SamePrecedence(a, b Word) bool {
+	opsA, opsB := Operations(a), Operations(b)
+	if len(opsA) != len(opsB) {
+		return false
+	}
+	byID := map[OpID]Operation{}
+	for _, o := range opsA {
+		byID[o.ID] = o
+	}
+	match := map[OpID]Operation{}
+	for _, o := range opsB {
+		p, ok := byID[o.ID]
+		if !ok || p.Op != o.Op || p.Pending() != o.Pending() {
+			return false
+		}
+		if (p.Arg == nil) != (o.Arg == nil) || (p.Arg != nil && !p.Arg.Equal(o.Arg)) {
+			return false
+		}
+		if !p.Pending() && !p.Ret.Equal(o.Ret) {
+			return false
+		}
+		match[o.ID] = o
+	}
+	for _, x := range opsA {
+		for _, y := range opsA {
+			if x.ID == y.ID {
+				continue
+			}
+			if x.Precedes(y) != match[x.ID].Precedes(match[y.ID]) {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,137 @@
+package word
+
+import "math/rand"
+
+// Shuffle machinery for Definition 5.2 (the shuffle x1 ⧢ ... ⧢ xm is the set
+// of all interleavings of the words) and Definition 5.3 (real-time oblivious
+// languages). The shuffles of interest are always of the per-process
+// projections α|1, ..., α|n of a finite prefix α, so the functions below take
+// the parts directly.
+
+// Shuffles enumerates every interleaving of the given parts, invoking visit
+// on each. Enumeration stops early if visit returns false. The number of
+// interleavings is the multinomial coefficient of the part lengths, so
+// callers should bound part sizes (tests use |α| ≤ ~12).
+func Shuffles(parts []Word, visit func(Word) bool) {
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	idx := make([]int, len(parts))
+	cur := make(Word, 0, total)
+	var rec func() bool
+	rec = func() bool {
+		if len(cur) == total {
+			return visit(cur.Clone())
+		}
+		for i, p := range parts {
+			if idx[i] < len(p) {
+				cur = append(cur, p[idx[i]])
+				idx[i]++
+				ok := rec()
+				idx[i]--
+				cur = cur[:len(cur)-1]
+				if !ok {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	rec()
+}
+
+// CountShuffles returns the number of interleavings of the parts (the
+// multinomial coefficient). It overflows for large inputs; intended for the
+// small words used in characterization experiments.
+func CountShuffles(parts []Word) int {
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	// multinomial(total; len(p1), ..., len(pm)) computed incrementally.
+	result := 1
+	acc := 0
+	for _, p := range parts {
+		for k := 1; k <= len(p); k++ {
+			acc++
+			result = result * acc / k
+		}
+	}
+	return result
+}
+
+// InShuffle reports whether cand is an interleaving of the parts, i.e.
+// cand ∈ parts[0] ⧢ ... ⧢ parts[m-1]. Because symbols carry their process
+// index and each part is a single process's local word in experiments, the
+// common case is resolved greedily; the general case (several parts sharing a
+// process) falls back to search.
+func InShuffle(cand Word, parts []Word) bool {
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	if len(cand) != total {
+		return false
+	}
+	idx := make([]int, len(parts))
+	var rec func(pos int) bool
+	rec = func(pos int) bool {
+		if pos == len(cand) {
+			return true
+		}
+		for i, p := range parts {
+			if idx[i] < len(p) && p[idx[i]].Equal(cand[pos]) {
+				idx[i]++
+				if rec(pos + 1) {
+					idx[i]--
+					return true
+				}
+				idx[i]--
+			}
+		}
+		return false
+	}
+	return rec(0)
+}
+
+// RandomShuffle samples one interleaving of the parts uniformly at random
+// using rng, by repeatedly drawing the next part weighted by its remaining
+// length.
+func RandomShuffle(parts []Word, rng *rand.Rand) Word {
+	total := 0
+	rem := make([]int, len(parts))
+	for i, p := range parts {
+		rem[i] = len(p)
+		total += len(p)
+	}
+	idx := make([]int, len(parts))
+	out := make(Word, 0, total)
+	for len(out) < total {
+		k := rng.Intn(total - len(out))
+		for i := range parts {
+			if rem[i] == 0 {
+				continue
+			}
+			if k < rem[i] {
+				out = append(out, parts[i][idx[i]])
+				idx[i]++
+				rem[i]--
+				break
+			}
+			k -= rem[i]
+		}
+	}
+	return out
+}
+
+// ProcParts splits a word into its per-process projections α|0, ..., α|n−1
+// for an n-process alphabet, the parts whose shuffle Definition 5.3 ranges
+// over.
+func ProcParts(w Word, n int) []Word {
+	parts := make([]Word, n)
+	for i := 0; i < n; i++ {
+		parts[i] = w.Project(i)
+	}
+	return parts
+}

@@ -1,0 +1,128 @@
+package word
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestShufflesEnumeration(t *testing.T) {
+	a := NewB().Op(0, "inc", Unit{}, Unit{}).Word()  // 2 symbols
+	b := NewB().Op(1, "read", Unit{}, Int(0)).Word() // 2 symbols
+	want := CountShuffles([]Word{a, b})              // C(4,2) = 6
+	if want != 6 {
+		t.Fatalf("CountShuffles = %d, want 6", want)
+	}
+	seen := map[string]bool{}
+	Shuffles([]Word{a, b}, func(w Word) bool {
+		if len(w) != 4 {
+			t.Fatalf("shuffle has wrong length: %v", w)
+		}
+		if !InShuffle(w, []Word{a, b}) {
+			t.Fatalf("enumerated shuffle not recognized: %v", w)
+		}
+		seen[w.String()] = true
+		return true
+	})
+	if len(seen) != want {
+		t.Errorf("enumerated %d distinct shuffles, want %d", len(seen), want)
+	}
+}
+
+func TestShufflesEarlyStop(t *testing.T) {
+	a := NewB().Op(0, "inc", Unit{}, Unit{}).Word()
+	b := NewB().Op(1, "read", Unit{}, Int(0)).Word()
+	count := 0
+	Shuffles([]Word{a, b}, func(Word) bool {
+		count++
+		return count < 3
+	})
+	if count != 3 {
+		t.Errorf("visited %d shuffles after early stop, want 3", count)
+	}
+}
+
+func TestInShuffleRejects(t *testing.T) {
+	a := NewB().Op(0, "inc", Unit{}, Unit{}).Word()
+	b := NewB().Op(1, "read", Unit{}, Int(0)).Word()
+	// Wrong length.
+	if InShuffle(a, []Word{a, b}) {
+		t.Error("short candidate should be rejected")
+	}
+	// Reordered within one part (response before invocation).
+	bad := Word{a[1], a[0], b[0], b[1]}
+	if InShuffle(bad, []Word{a, b}) {
+		t.Error("part-order-violating candidate should be rejected")
+	}
+}
+
+func TestRandomShuffleIsShuffle(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	a := NewB().Op(0, "write", Int(1), Unit{}).Op(0, "write", Int(2), Unit{}).Word()
+	b := NewB().Op(1, "read", Unit{}, Int(1)).Word()
+	c := NewB().Op(2, "read", Unit{}, Int(2)).Word()
+	parts := []Word{a, b, c}
+	for i := 0; i < 100; i++ {
+		s := RandomShuffle(parts, rng)
+		if !InShuffle(s, parts) {
+			t.Fatalf("RandomShuffle produced non-shuffle: %v", s)
+		}
+	}
+}
+
+func TestProcPartsRoundTrip(t *testing.T) {
+	// Property: any word is in the shuffle of its own projections — this is
+	// the identity underlying Definition 5.3 (α ∈ α|1 ⧢ ... ⧢ α|n).
+	f := func(seed int64, size uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w := randomWellFormed(rng, int(size%10)+2, 3)
+		parts := ProcParts(w, 3)
+		return InShuffle(w, parts)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShufflePreservesProjections(t *testing.T) {
+	// Property: every shuffle of projections has the same projections.
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		w := randomWellFormed(rng, 6, 2)
+		parts := ProcParts(w, 2)
+		s := RandomShuffle(parts, rng)
+		for i := 0; i < 2; i++ {
+			if !s.Project(i).Equal(w.Project(i)) {
+				t.Fatalf("projection %d changed: %v vs %v", i, s.Project(i), w.Project(i))
+			}
+		}
+	}
+}
+
+// randomWellFormed builds a random well-formed word with the given number of
+// symbols over n processes: at each position a process either starts an
+// operation or completes its pending one.
+func randomWellFormed(rng *rand.Rand, symbols, n int) Word {
+	var w Word
+	pending := make([]string, n) // "" means no pending op
+	for len(w) < symbols {
+		p := rng.Intn(n)
+		if pending[p] == "" {
+			op := []string{"inc", "read", "write"}[rng.Intn(3)]
+			var arg Value = Unit{}
+			if op == "write" {
+				arg = Int(rng.Intn(5))
+			}
+			w = append(w, NewInv(p, op, arg))
+			pending[p] = op
+		} else {
+			var ret Value = Unit{}
+			if pending[p] == "read" {
+				ret = Int(rng.Intn(5))
+			}
+			w = append(w, NewRes(p, pending[p], ret))
+			pending[p] = ""
+		}
+	}
+	return w
+}

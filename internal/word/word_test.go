@@ -1,0 +1,200 @@
+package word
+
+import (
+	"testing"
+)
+
+func TestSymbolString(t *testing.T) {
+	tests := []struct {
+		name string
+		sym  Symbol
+		want string
+	}{
+		{"inv write", NewInv(0, "write", Int(3)), "<0:write(3)"},
+		{"res write", NewRes(0, "write", Unit{}), ">0:write=()"},
+		{"inv read", NewInv(2, "read", Unit{}), "<2:read(())"},
+		{"res read", NewRes(2, "read", Int(7)), ">2:read=7"},
+		{"res get", NewRes(1, "get", Seq{"a", "b"}), ">1:get=[a·b]"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.sym.String(); got != tt.want {
+				t.Errorf("String() = %q, want %q", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestValueEqual(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b Value
+		want bool
+	}{
+		{"int eq", Int(3), Int(3), true},
+		{"int ne", Int(3), Int(4), false},
+		{"int vs unit", Int(0), Unit{}, false},
+		{"unit eq", Unit{}, Unit{}, true},
+		{"rec eq", Rec("x"), Rec("x"), true},
+		{"rec ne", Rec("x"), Rec("y"), false},
+		{"seq eq", Seq{"a", "b"}, Seq{"a", "b"}, true},
+		{"seq ne len", Seq{"a"}, Seq{"a", "b"}, false},
+		{"seq ne elem", Seq{"a", "b"}, Seq{"a", "c"}, false},
+		{"seq empty", Seq{}, Seq{}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.a.Equal(tt.b); got != tt.want {
+				t.Errorf("%v.Equal(%v) = %v, want %v", tt.a, tt.b, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestProject(t *testing.T) {
+	w := NewB().
+		Inv(0, "write", Int(1)).
+		Inv(1, "read", Unit{}).
+		Res(0, "write", Unit{}).
+		Res(1, "read", Int(1)).
+		Word()
+	p0 := w.Project(0)
+	if len(p0) != 2 || p0[0].Op != "write" || p0[1].Kind != Res {
+		t.Fatalf("Project(0) = %v", p0)
+	}
+	p1 := w.Project(1)
+	if len(p1) != 2 || p1[0].Op != "read" {
+		t.Fatalf("Project(1) = %v", p1)
+	}
+	if got := w.Procs(); got != 2 {
+		t.Errorf("Procs() = %d, want 2", got)
+	}
+}
+
+func TestWellFormed(t *testing.T) {
+	tests := []struct {
+		name string
+		w    Word
+		ok   bool
+	}{
+		{"empty", Word{}, true},
+		{"single op", NewB().Op(0, "read", Unit{}, Int(0)).Word(), true},
+		{"pending inv", NewB().Inv(0, "write", Int(1)).Word(), true},
+		{"interleaved", NewB().
+			Inv(0, "write", Int(1)).Inv(1, "read", Unit{}).
+			Res(1, "read", Int(0)).Res(0, "write", Unit{}).Word(), true},
+		{"double invocation", NewB().
+			Inv(0, "write", Int(1)).Inv(0, "read", Unit{}).Word(), false},
+		{"orphan response", NewB().Res(0, "read", Int(0)).Word(), false},
+		{"mismatched response", NewB().
+			Inv(0, "write", Int(1)).Res(0, "read", Int(1)).Word(), false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := WellFormed(tt.w)
+			if (err == nil) != tt.ok {
+				t.Errorf("WellFormed(%v) error = %v, want ok=%v", tt.w, err, tt.ok)
+			}
+		})
+	}
+}
+
+func TestOperations(t *testing.T) {
+	w := NewB().
+		Inv(0, "write", Int(5)).
+		Inv(1, "read", Unit{}).
+		Res(0, "write", Unit{}).
+		Res(1, "read", Int(5)).
+		Inv(0, "read", Unit{}).
+		Word()
+	ops := Operations(w)
+	if len(ops) != 3 {
+		t.Fatalf("Operations returned %d ops, want 3", len(ops))
+	}
+	if ops[0].ID != (OpID{Proc: 0, Idx: 0}) || ops[0].Op != "write" || ops[0].Res != 2 {
+		t.Errorf("ops[0] = %v", ops[0])
+	}
+	if ops[1].ID != (OpID{Proc: 1, Idx: 0}) || !ops[1].Ret.Equal(Int(5)) {
+		t.Errorf("ops[1] = %v", ops[1])
+	}
+	if !ops[2].Pending() || ops[2].ID != (OpID{Proc: 0, Idx: 1}) {
+		t.Errorf("ops[2] = %v", ops[2])
+	}
+	if len(Complete(w)) != 2 {
+		t.Errorf("Complete = %v", Complete(w))
+	}
+	if len(PendingOps(w)) != 1 {
+		t.Errorf("PendingOps = %v", PendingOps(w))
+	}
+	trunc := TruncateComplete(w)
+	if len(trunc) != 4 || len(PendingOps(trunc)) != 0 {
+		t.Errorf("TruncateComplete = %v", trunc)
+	}
+}
+
+func TestPrecedence(t *testing.T) {
+	// p0: write(1) completes, then p1 reads: write ≺ read.
+	w := NewB().
+		Op(0, "write", Int(1), Unit{}).
+		Op(1, "read", Unit{}, Int(1)).
+		Word()
+	ops := Operations(w)
+	if !ops[0].Precedes(ops[1]) {
+		t.Error("write should precede read")
+	}
+	if ops[1].Precedes(ops[0]) {
+		t.Error("read should not precede write")
+	}
+	if ops[0].ConcurrentWith(ops[1]) {
+		t.Error("sequential ops should not be concurrent")
+	}
+
+	// Overlapping operations are concurrent.
+	w2 := NewB().
+		Inv(0, "write", Int(1)).
+		Inv(1, "read", Unit{}).
+		Res(0, "write", Unit{}).
+		Res(1, "read", Int(1)).
+		Word()
+	ops2 := Operations(w2)
+	if !ops2[0].ConcurrentWith(ops2[1]) {
+		t.Error("overlapping ops should be concurrent")
+	}
+
+	// A pending operation precedes nothing but can be preceded.
+	w3 := NewB().
+		Op(0, "write", Int(1), Unit{}).
+		Inv(1, "read", Unit{}).
+		Word()
+	ops3 := Operations(w3)
+	if ops3[1].Precedes(ops3[0]) {
+		t.Error("pending op must not precede")
+	}
+	if !ops3[0].Precedes(ops3[1]) {
+		t.Error("complete op should precede later pending op")
+	}
+}
+
+func TestOperationsPanicsOnMalformed(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Operations should panic on orphan response")
+		}
+	}()
+	Operations(NewB().Res(0, "read", Int(0)).Word())
+}
+
+func TestWordEqualClone(t *testing.T) {
+	w := NewB().Op(0, "inc", Unit{}, Unit{}).Op(1, "read", Unit{}, Int(1)).Word()
+	c := w.Clone()
+	if !w.Equal(c) {
+		t.Error("clone should equal original")
+	}
+	c[0].Proc = 5
+	if w.Equal(c) {
+		t.Error("mutated clone should differ")
+	}
+	if w.Equal(w[:len(w)-1]) {
+		t.Error("prefix should not equal word")
+	}
+}

@@ -1,0 +1,62 @@
+// Root integration test: the complete Table 1 at full depth. This is the
+// repository's headline check — every ✓ and ✗ of the paper's results table,
+// reproduced by running the corresponding monitor or impossibility
+// construction. `go test -run TestTable1 .` regenerates the table;
+// cmd/drvtable prints it.
+package drv_test
+
+import (
+	"testing"
+
+	"github.com/drv-go/drv/internal/core"
+	"github.com/drv-go/drv/internal/experiment"
+)
+
+// paperTable1 is Table 1 of the paper, column order SD, WD, PSD, PWD.
+var paperTable1 = map[string][4]bool{
+	"LIN_REG":   {false, false, true, true},
+	"SC_REG":    {false, false, true, true},
+	"LIN_LED":   {false, false, true, true},
+	"SC_LED":    {false, false, true, true},
+	"EC_LED":    {false, false, false, false},
+	"WEC_COUNT": {false, true, false, true},
+	"SEC_COUNT": {false, false, false, true},
+}
+
+var classOrder = [4]core.Class{core.SD, core.WD, core.PSD, core.PWD}
+
+func TestTable1(t *testing.T) {
+	p := experiment.DefaultParams()
+	if testing.Short() {
+		p.Seeds = []int64{1}
+		p.Steps = 8_000
+		p.TimedSteps = 1_500
+		p.SCSteps = 800
+		p.SwapRounds = 4
+		p.AttackRounds = 4
+		p.Stages = 2
+	}
+	rows := experiment.Table1(p)
+	if len(rows) != len(paperTable1) {
+		t.Fatalf("harness produced %d rows, paper has %d", len(rows), len(paperTable1))
+	}
+	for _, row := range rows {
+		want, ok := paperTable1[row.Lang]
+		if !ok {
+			t.Errorf("unexpected language %s", row.Lang)
+			continue
+		}
+		for i, cell := range row.Cells {
+			if cell.Class != classOrder[i] {
+				t.Errorf("%s column %d is %s, want %s", row.Lang, i, cell.Class, classOrder[i])
+			}
+			if cell.Expected != want[i] {
+				t.Errorf("%s × %s: harness encodes %v, paper says %v", row.Lang, cell.Class, cell.Expected, want[i])
+			}
+			if cell.Err != nil {
+				t.Errorf("%s × %s (%s): reproduction failed: %v", row.Lang, cell.Class, cell.Method, cell.Err)
+			}
+		}
+	}
+	t.Logf("Table 1 reproduced:\n%s", experiment.Render(rows))
+}
