@@ -7,6 +7,7 @@
 package drv_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -60,20 +61,57 @@ func runTimedMonitor(mk func(*adversary.Timed) monitor.Monitor, src adversary.So
 
 // ---------------------------------------------------------------- Table 1
 
-// BenchmarkTable1 regenerates one row of Table 1 per sub-benchmark: the
-// complete set of possibility sweeps and impossibility constructions for
-// that language. Together the seven sub-benchmarks are the whole table.
+// BenchmarkTable1 regenerates the whole table per engine configuration:
+// the sequential path (one worker, no pool goroutines) against worker pools
+// of increasing size. On a multi-core machine the parallel configurations
+// show the wall-clock speedup of fanning the ~60 independent cell units out;
+// the rendered table is byte-identical in every configuration.
 func BenchmarkTable1(b *testing.B) {
-	p := experiment.DefaultParams()
 	// Benchmark-sized: one seed, shorter runs; the full-depth table runs in
 	// TestTable1AllCellsReproduce and cmd/drvtable.
-	p.Seeds = []int64{1}
-	p.Steps = 8_000
-	p.TimedSteps = 1_500
-	p.SCSteps = 800
-	p.SwapRounds = 4
-	p.AttackRounds = 4
-	p.Stages = 2
+	p := experiment.ShortParams()
+	configs := []struct {
+		name    string
+		workers int
+	}{
+		{"sequential", 1},
+		{"parallel-2", 2},
+		{"parallel-4", 4},
+		{"parallel-8", 8},
+	}
+	var renders []string
+	for _, cfg := range configs {
+		b.Run(cfg.name, func(b *testing.B) {
+			var last string
+			for i := 0; i < b.N; i++ {
+				rows, err := experiment.Run(context.Background(), p, experiment.Options{Workers: cfg.workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, row := range rows {
+					for _, cell := range row.Cells {
+						if cell.Err != nil {
+							b.Fatalf("%s %s: %v", cell.Lang, cell.Class, cell.Err)
+						}
+					}
+				}
+				last = experiment.Render(rows)
+			}
+			renders = append(renders, last)
+		})
+	}
+	for i := 1; i < len(renders); i++ {
+		if renders[i] != renders[0] {
+			b.Fatalf("%s rendered a different table than %s", configs[i].name, configs[0].name)
+		}
+	}
+}
+
+// BenchmarkTable1Rows regenerates one row of Table 1 per sub-benchmark: the
+// complete set of possibility sweeps and impossibility constructions for
+// that language. Together the seven sub-benchmarks are the whole table.
+func BenchmarkTable1Rows(b *testing.B) {
+	p := experiment.ShortParams()
 	rows := []string{"LIN_REG", "SC_REG", "LIN_LED", "SC_LED", "EC_LED", "WEC_COUNT", "SEC_COUNT"}
 	for _, name := range rows {
 		b.Run(name, func(b *testing.B) {

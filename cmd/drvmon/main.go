@@ -11,8 +11,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"github.com/drv-go/drv/internal/check"
@@ -23,25 +25,32 @@ import (
 )
 
 func main() {
-	os.Exit(run())
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run() int {
-	langName := flag.String("lang", "", "language to check against (default: the trace's own)")
-	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: drvmon [-lang LANG] trace.jsonl")
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("drvmon", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	langName := fs.String("lang", "", "language to check against (default: the trace's own)")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
 		return 2
 	}
-	f, err := os.Open(flag.Arg(0))
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: drvmon [-lang LANG] trace.jsonl")
+		return 2
+	}
+	f, err := os.Open(fs.Arg(0))
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "open: %v\n", err)
+		fmt.Fprintf(stderr, "open: %v\n", err)
 		return 1
 	}
 	defer f.Close()
 	tr, err := trace.Read(f)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "parse: %v\n", err)
+		fmt.Fprintf(stderr, "parse: %v\n", err)
 		return 1
 	}
 
@@ -50,11 +59,11 @@ func run() int {
 		name = tr.Meta.Lang
 	}
 	if name == "" {
-		fmt.Fprintln(os.Stderr, "trace has no language; pass -lang")
+		fmt.Fprintln(stderr, "trace has no language; pass -lang")
 		return 2
 	}
-	var l lang.Lang
 	found := false
+	var l lang.Lang
 	for _, cand := range lang.All() {
 		if cand.Name == name {
 			l, found = cand, true
@@ -62,57 +71,57 @@ func run() int {
 		}
 	}
 	if !found {
-		fmt.Fprintf(os.Stderr, "unknown language %q\n", name)
+		fmt.Fprintf(stderr, "unknown language %q\n", name)
 		return 2
 	}
 
-	fmt.Printf("trace: %d symbols, %d processes, language %s\n", len(tr.Word), tr.Meta.N, name)
+	fmt.Fprintf(stdout, "trace: %d symbols, %d processes, language %s\n", len(tr.Word), tr.Meta.N, name)
 	violated := l.SafetyViolated(tr.Word)
-	fmt.Printf("safety clauses: violated=%v\n", violated)
-	printDiagnostics(name, tr.Word)
+	fmt.Fprintf(stdout, "safety clauses: violated=%v\n", violated)
+	printDiagnostics(stdout, name, tr.Word)
 
 	if tr.Meta.Member != nil {
-		fmt.Printf("ground truth (ω-word): in-language=%v\n", *tr.Meta.Member)
+		fmt.Fprintf(stdout, "ground truth (ω-word): in-language=%v\n", *tr.Meta.Member)
 		if *tr.Meta.Member && violated {
-			fmt.Println("MISMATCH: safety violation on an in-language trace")
+			fmt.Fprintln(stdout, "MISMATCH: safety violation on an in-language trace")
 			return 1
 		}
 		if !*tr.Meta.Member && !violated {
-			fmt.Println("note: no prefix violation found — the word's badness is a liveness property (see the convergence diagnostics)")
+			fmt.Fprintln(stdout, "note: no prefix violation found — the word's badness is a liveness property (see the convergence diagnostics)")
 		}
 	}
 	return 0
 }
 
 // printDiagnostics runs the language-specific extra checkers.
-func printDiagnostics(name string, w word.Word) {
+func printDiagnostics(stdout io.Writer, name string, w word.Word) {
 	switch name {
 	case "LIN_REG", "SC_REG":
-		fmt.Printf("linearizable (register): %v\n", check.Linearizable(spec.Register(), w))
-		fmt.Printf("seq. consistent (register): %v\n", check.SeqConsistent(spec.Register(), w))
+		fmt.Fprintf(stdout, "linearizable (register): %v\n", check.Linearizable(spec.Register(), w))
+		fmt.Fprintf(stdout, "seq. consistent (register): %v\n", check.SeqConsistent(spec.Register(), w))
 	case "LIN_LED", "SC_LED":
-		fmt.Printf("linearizable (ledger): %v\n", check.Linearizable(spec.Ledger(), w))
-		fmt.Printf("seq. consistent (ledger): %v\n", check.SeqConsistent(spec.Ledger(), w))
+		fmt.Fprintf(stdout, "linearizable (ledger): %v\n", check.Linearizable(spec.Ledger(), w))
+		fmt.Fprintf(stdout, "seq. consistent (ledger): %v\n", check.SeqConsistent(spec.Ledger(), w))
 	case "EC_LED":
 		if v := check.ECLedgerSafety(w); v != nil {
-			fmt.Printf("EC ordering clause: violated (%v)\n", v)
+			fmt.Fprintf(stdout, "EC ordering clause: violated (%v)\n", v)
 		} else {
-			fmt.Println("EC ordering clause: ok")
+			fmt.Fprintln(stdout, "EC ordering clause: ok")
 		}
-		fmt.Printf("EC convergence (quiescent tail): %v\n", check.ECLedgerConverges(w))
+		fmt.Fprintf(stdout, "EC convergence (quiescent tail): %v\n", check.ECLedgerConverges(w))
 	case "WEC_COUNT", "SEC_COUNT":
 		if v := check.WECSafety(w); v != nil {
-			fmt.Printf("WEC safety: violated (%v)\n", v)
+			fmt.Fprintf(stdout, "WEC safety: violated (%v)\n", v)
 		} else {
-			fmt.Println("WEC safety: ok")
+			fmt.Fprintln(stdout, "WEC safety: ok")
 		}
 		if name == "SEC_COUNT" {
 			if v := check.SECSafety(w); v != nil {
-				fmt.Printf("SEC safety (clause 4): violated (%v)\n", v)
+				fmt.Fprintf(stdout, "SEC safety (clause 4): violated (%v)\n", v)
 			} else {
-				fmt.Println("SEC safety (clause 4): ok")
+				fmt.Fprintln(stdout, "SEC safety (clause 4): ok")
 			}
 		}
-		fmt.Printf("counter convergence (quiescent tail): %v\n", check.Converges(w))
+		fmt.Fprintf(stdout, "counter convergence (quiescent tail): %v\n", check.Converges(w))
 	}
 }

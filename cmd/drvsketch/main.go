@@ -10,8 +10,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"github.com/drv-go/drv/internal/adversary"
@@ -23,16 +25,23 @@ import (
 )
 
 func main() {
-	os.Exit(run())
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run() int {
-	n := flag.Int("n", 3, "process count (Figure 7 uses 3)")
-	seed := flag.Int64("seed", 1, "schedule seed")
-	steps := flag.Int("steps", 600, "scheduler step bound")
-	source := flag.String("source", "", "register behaviour source (default: first; see drvtrace -list -lang LIN_REG)")
-	kindName := flag.String("kind", "atomic", "announcement array kind: atomic, aadgms or collect")
-	flag.Parse()
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("drvsketch", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	n := fs.Int("n", 3, "process count (Figure 7 uses 3)")
+	seed := fs.Int64("seed", 1, "schedule seed")
+	steps := fs.Int("steps", 600, "scheduler step bound")
+	source := fs.String("source", "", "register behaviour source (default: first; see drvtrace -list -lang LIN_REG)")
+	kindName := fs.String("kind", "atomic", "announcement array kind: atomic, aadgms or collect")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
 
 	var kind adversary.ArrayKind
 	switch *kindName {
@@ -43,7 +52,7 @@ func run() int {
 	case "collect":
 		kind = adversary.ArrayCollect
 	default:
-		fmt.Fprintf(os.Stderr, "unknown array kind %q\n", *kindName)
+		fmt.Fprintf(stderr, "unknown array kind %q\n", *kindName)
 		return 2
 	}
 
@@ -56,7 +65,7 @@ func run() int {
 		}
 	}
 	if chosen == nil {
-		fmt.Fprintf(os.Stderr, "unknown source %q\n", *source)
+		fmt.Fprintf(stderr, "unknown source %q\n", *source)
 		return 2
 	}
 
@@ -76,17 +85,17 @@ func run() int {
 
 	sk, err := res.Sketch(*n, tau)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "sketch reconstruction: %v\n", err)
+		fmt.Fprintf(stderr, "sketch reconstruction: %v\n", err)
 		if kind == adversary.ArrayCollect {
-			fmt.Fprintln(os.Stderr, "(collect views need not be totally ordered — this is the Section 6.2 caveat)")
+			fmt.Fprintln(stderr, "(collect views need not be totally ordered — this is the Section 6.2 caveat)")
 		}
 		return 1
 	}
-	fmt.Printf("behaviour: %s/%s (in LIN_REG: %v), %d processes, seed %d\n\n",
+	fmt.Fprintf(stdout, "behaviour: %s/%s (in LIN_REG: %v), %d processes, seed %d\n\n",
 		lang.LinReg().Name, chosen.Name, chosen.In, *n, *seed)
-	fmt.Print(sketch.RenderComparison(res.History, sk))
+	fmt.Fprint(stdout, sketch.RenderComparison(res.History, sk))
 
 	noTotal := res.TotalNO()
-	fmt.Printf("\nmonitor verdicts: %d NO reports across %d processes\n", noTotal, *n)
+	fmt.Fprintf(stdout, "\nmonitor verdicts: %d NO reports across %d processes\n", noTotal, *n)
 	return 0
 }

@@ -3,34 +3,56 @@
 // impossibility construction and prints the resulting matrix, marking any
 // cell whose reproduction failed.
 //
+// Cells run on a bounded worker pool (-j); results are folded back in plan
+// order, so the printed table is byte-identical for every worker count.
+//
 // Usage:
 //
-//	drvtable [-procs n] [-seeds k] [-steps s] [-window w] [-v]
+//	drvtable [-procs n] [-seeds k] [-steps s] [-window w] [-j workers]
+//	         [-progress] [-fail-fast] [-timeout d] [-v]
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
+	"time"
 
 	"github.com/drv-go/drv/internal/experiment"
 )
 
 func main() {
-	os.Exit(run())
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run() int {
-	procs := flag.Int("procs", 3, "monitor process count for possibility cells")
-	seeds := flag.Int("seeds", 2, "number of scheduling seeds per possibility cell")
-	steps := flag.Int("steps", 30_000, "step bound for untimed possibility runs")
-	timedSteps := flag.Int("timed-steps", 4_000, "step bound for predictive-monitor runs")
-	scSteps := flag.Int("sc-steps", 1_500, "step bound for sequential-consistency monitor runs")
-	window := flag.Int("window", 4, "verdict-tail window for the ω-quantifier proxies")
-	rounds := flag.Int("rounds", 8, "rounds for the Lemma 5.1 swap and prefix attacks")
-	stages := flag.Int("stages", 3, "alternation stages for the Lemma 6.5 attack")
-	verbose := flag.Bool("v", false, "print per-cell method and evidence")
-	flag.Parse()
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("drvtable", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	procs := fs.Int("procs", 3, "monitor process count for possibility cells")
+	seeds := fs.Int("seeds", 2, "number of scheduling seeds per possibility cell")
+	steps := fs.Int("steps", 30_000, "step bound for untimed possibility runs")
+	timedSteps := fs.Int("timed-steps", 4_000, "step bound for predictive-monitor runs")
+	scSteps := fs.Int("sc-steps", 1_500, "step bound for sequential-consistency monitor runs")
+	window := fs.Int("window", 4, "verdict-tail window for the ω-quantifier proxies")
+	rounds := fs.Int("rounds", 8, "rounds for the Lemma 5.1 swap and prefix attacks")
+	stages := fs.Int("stages", 3, "alternation stages for the Lemma 6.5 attack")
+	verbose := fs.Bool("v", false, "print per-cell method and evidence")
+	var workers int
+	fs.IntVar(&workers, "j", runtime.NumCPU(), "worker-pool size; 1 runs the cells sequentially")
+	fs.IntVar(&workers, "parallel", runtime.NumCPU(), "alias for -j")
+	progress := fs.Bool("progress", false, "stream per-cell completion to stderr")
+	failFast := fs.Bool("fail-fast", false, "cancel outstanding cells after the first failure")
+	timeout := fs.Duration("timeout", 0, "overall deadline, checked between cell units — in-flight runs finish their step bound (0 = none)")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
 
 	p := experiment.Params{
 		Procs:        *procs,
@@ -46,10 +68,29 @@ func run() int {
 		p.Seeds = append(p.Seeds, s)
 	}
 
-	rows := experiment.Table1(p)
-	fmt.Println("Table 1 — decidability of the example languages (✓ decidable, ✗ impossible; '!' marks a failed reproduction)")
-	fmt.Println()
-	fmt.Print(experiment.Render(rows))
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	opts := experiment.Options{Workers: workers, FailFast: *failFast}
+	if *progress {
+		start := time.Now()
+		opts.OnCell = func(u experiment.CellUpdate) {
+			status := "ok"
+			if !u.Cell.OK() {
+				status = "FAILED"
+			}
+			fmt.Fprintf(stderr, "[%2d/%d %7.2fs] %-10s × %-3s %s\n",
+				u.Done, u.Total, time.Since(start).Seconds(), u.Cell.Lang, u.Cell.Class, status)
+		}
+	}
+
+	rows, runErr := experiment.Run(ctx, p, opts)
+	fmt.Fprintln(stdout, "Table 1 — decidability of the example languages (✓ decidable, ✗ impossible; '!' marks a failed reproduction)")
+	fmt.Fprintln(stdout)
+	fmt.Fprint(stdout, experiment.Render(rows))
 
 	failures := 0
 	for _, row := range rows {
@@ -59,21 +100,25 @@ func run() int {
 				if cell.Err != nil {
 					status = "FAILED: " + cell.Err.Error()
 				}
-				fmt.Printf("\n%s × %s (%s)\n  method:   %s\n  evidence: %s\n  status:   %s\n",
+				fmt.Fprintf(stdout, "\n%s × %s (%s)\n  method:   %s\n  evidence: %s\n  status:   %s\n",
 					cell.Lang, cell.Class, cell.Mark(), cell.Method, cell.Evidence, status)
 			}
 			if cell.Err != nil {
 				failures++
 				if !*verbose {
-					fmt.Fprintf(os.Stderr, "FAILED %s × %s: %v\n", cell.Lang, cell.Class, cell.Err)
+					fmt.Fprintf(stderr, "FAILED %s × %s: %v\n", cell.Lang, cell.Class, cell.Err)
 				}
 			}
 		}
 	}
-	if failures > 0 {
-		fmt.Fprintf(os.Stderr, "\n%d cell(s) failed to reproduce\n", failures)
+	if runErr != nil {
+		fmt.Fprintf(stderr, "\nrun interrupted: %v\n", runErr)
 		return 1
 	}
-	fmt.Println("\nall 28 cells reproduced")
+	if failures > 0 {
+		fmt.Fprintf(stderr, "\n%d cell(s) failed to reproduce\n", failures)
+		return 1
+	}
+	fmt.Fprintln(stdout, "\nall 28 cells reproduced")
 	return 0
 }

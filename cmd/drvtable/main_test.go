@@ -1,0 +1,110 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+)
+
+// smallArgs sizes the table down so the whole golden run takes well under a
+// second while every cell still reproduces (see experiment.ShortParams).
+var smallArgs = []string{
+	"-seeds", "1", "-steps", "3000", "-timed-steps", "600",
+	"-sc-steps", "300", "-rounds", "3", "-stages", "2",
+}
+
+func runTable(t *testing.T, extra ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(append(append([]string{}, smallArgs...), extra...), &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func TestGoldenOutput(t *testing.T) {
+	code, out, errOut := runTable(t, "-j", "1")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, errOut)
+	}
+	golden, err := os.ReadFile("testdata/table_small.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != string(golden) {
+		t.Errorf("sequential output does not match golden file:\n%s\nwant:\n%s", out, golden)
+	}
+}
+
+func TestParallelOutputByteIdentical(t *testing.T) {
+	_, seq, _ := runTable(t, "-j", "1")
+	for _, j := range []string{"2", "4", "8"} {
+		code, par, errOut := runTable(t, "-j", j)
+		if code != 0 {
+			t.Fatalf("-j %s: exit %d, stderr:\n%s", j, code, errOut)
+		}
+		if par != seq {
+			t.Errorf("-j %s output differs from sequential:\n%s\nvs\n%s", j, par, seq)
+		}
+	}
+}
+
+func TestParallelAlias(t *testing.T) {
+	_, seq, _ := runTable(t, "-j", "1")
+	code, par, _ := runTable(t, "-parallel", "4")
+	if code != 0 {
+		t.Fatalf("-parallel 4 exited %d", code)
+	}
+	if par != seq {
+		t.Error("-parallel output differs from -j output")
+	}
+}
+
+func TestProgressGoesToStderrOnly(t *testing.T) {
+	code, out, errOut := runTable(t, "-j", "4", "-progress")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if strings.Contains(out, "[") {
+		t.Error("progress lines leaked into stdout")
+	}
+	lines := strings.Count(errOut, "\n")
+	if lines != 28 {
+		t.Errorf("expected 28 progress lines on stderr, got %d:\n%s", lines, errOut)
+	}
+	for done := 1; done <= 28; done++ {
+		if !strings.Contains(errOut, fmt.Sprintf("[%2d/28", done)) {
+			t.Errorf("missing progress line for cell %d", done)
+		}
+	}
+}
+
+func TestVerboseListsEveryCell(t *testing.T) {
+	code, out, _ := runTable(t, "-j", "2", "-v")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if got := strings.Count(out, "method:"); got != 28 {
+		t.Errorf("verbose output lists %d cells, want 28", got)
+	}
+}
+
+func TestHelpExitsZero(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-h"}, &stdout, &stderr); code != 0 {
+		t.Errorf("-h exited %d, want 0", code)
+	}
+	if !strings.Contains(stderr.String(), "Usage of drvtable") {
+		t.Errorf("no usage text on stderr: %s", stderr.String())
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-no-such-flag"}, &stdout, &stderr); code != 2 {
+		t.Errorf("bad flag exited %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "flag") {
+		t.Errorf("no flag diagnostic on stderr: %s", stderr.String())
+	}
+}

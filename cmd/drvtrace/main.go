@@ -9,8 +9,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"github.com/drv-go/drv/internal/adversary"
@@ -21,18 +23,25 @@ import (
 )
 
 func main() {
-	os.Exit(run())
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run() int {
-	langName := flag.String("lang", "WEC_COUNT", "language: LIN_REG, SC_REG, LIN_LED, SC_LED, EC_LED, WEC_COUNT, SEC_COUNT")
-	list := flag.Bool("list", false, "list the language's behaviour sources and exit")
-	source := flag.String("source", "", "behaviour source name (default: first source)")
-	n := flag.Int("n", 3, "process count")
-	seed := flag.Int64("seed", 1, "schedule and workload seed")
-	steps := flag.Int("steps", 20_000, "scheduler step bound")
-	out := flag.String("o", "", "output file (default stdout)")
-	flag.Parse()
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("drvtrace", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	langName := fs.String("lang", "WEC_COUNT", "language: LIN_REG, SC_REG, LIN_LED, SC_LED, EC_LED, WEC_COUNT, SEC_COUNT")
+	list := fs.Bool("list", false, "list the language's behaviour sources and exit")
+	source := fs.String("source", "", "behaviour source name (default: first source)")
+	n := fs.Int("n", 3, "process count")
+	seed := fs.Int64("seed", 1, "schedule and workload seed")
+	steps := fs.Int("steps", 20_000, "scheduler step bound")
+	out := fs.String("o", "", "output file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
 
 	var l lang.Lang
 	found := false
@@ -43,15 +52,15 @@ func run() int {
 		}
 	}
 	if !found {
-		fmt.Fprintf(os.Stderr, "unknown language %q\n", *langName)
+		fmt.Fprintf(stderr, "unknown language %q\n", *langName)
 		return 2
 	}
 
 	sources := l.Sources(*n, *seed)
 	if *list {
-		fmt.Printf("sources of %s (n=%d, seed=%d):\n", l.Name, *n, *seed)
+		fmt.Fprintf(stdout, "sources of %s (n=%d, seed=%d):\n", l.Name, *n, *seed)
 		for _, lb := range sources {
-			fmt.Printf("  %-20s in-language: %v\n", lb.Name, lb.In)
+			fmt.Fprintf(stdout, "  %-20s in-language: %v\n", lb.Name, lb.In)
 		}
 		return 0
 	}
@@ -63,7 +72,7 @@ func run() int {
 		}
 	}
 	if chosen == nil {
-		fmt.Fprintf(os.Stderr, "unknown source %q (use -list)\n", *source)
+		fmt.Fprintf(stderr, "unknown source %q (use -list)\n", *source)
 		return 2
 	}
 
@@ -80,11 +89,11 @@ func run() int {
 		MaxSteps: *steps,
 	})
 
-	w := os.Stdout
+	w := stdout
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "create %s: %v\n", *out, err)
+			fmt.Fprintf(stderr, "create %s: %v\n", *out, err)
 			return 1
 		}
 		defer f.Close()
@@ -99,18 +108,18 @@ func run() int {
 		Seed:   *seed,
 		Note:   "source=" + chosen.Name,
 	}); err != nil {
-		fmt.Fprintf(os.Stderr, "write meta: %v\n", err)
+		fmt.Fprintf(stderr, "write meta: %v\n", err)
 		return 1
 	}
 	if err := tw.WriteWord(res.History); err != nil {
-		fmt.Fprintf(os.Stderr, "write trace: %v\n", err)
+		fmt.Fprintf(stderr, "write trace: %v\n", err)
 		return 1
 	}
 	if err := tw.Flush(); err != nil {
-		fmt.Fprintf(os.Stderr, "flush: %v\n", err)
+		fmt.Fprintf(stderr, "flush: %v\n", err)
 		return 1
 	}
-	fmt.Fprintf(os.Stderr, "wrote %d symbols of %s/%s (in-language: %v)\n",
+	fmt.Fprintf(stderr, "wrote %d symbols of %s/%s (in-language: %v)\n",
 		len(res.History), l.Name, chosen.Name, chosen.In)
 	return 0
 }

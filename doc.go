@@ -35,6 +35,13 @@
 //
 // The cmd directory holds the reproduction tools (drvtable, drvtrace,
 // drvmon, drvsketch); examples holds five runnable walkthroughs. The root
-// bench and test files regenerate every table and figure of the paper; see
-// DESIGN.md for the experiment index and EXPERIMENTS.md for results.
+// bench and test files regenerate every table and figure of the paper.
+//
+// Table 1 runs on a parallel experiment engine (internal/experiment.Run):
+// the table decomposes into independent units — one per (cell, seed,
+// labelled source) possibility run, one per impossibility construction —
+// that fan out onto a bounded worker pool with deterministic, order-stable
+// result folding, so drvtable -j N prints a byte-identical table for every
+// worker count. See README.md for the module setup, the short/full/race
+// test tiers, and parallel usage.
 package drv

@@ -1,0 +1,3 @@
+module github.com/drv-go/drv
+
+go 1.24

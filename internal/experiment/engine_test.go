@@ -1,0 +1,245 @@
+package experiment
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// cellErrsEqual compares two row slices cell by cell, including error text.
+func cellErrsEqual(t *testing.T, a, b []Row) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("row counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		for j := range a[i].Cells {
+			ca, cb := a[i].Cells[j], b[i].Cells[j]
+			if ca.Lang != cb.Lang || ca.Class != cb.Class || ca.Expected != cb.Expected ||
+				ca.Method != cb.Method || ca.Evidence != cb.Evidence {
+				t.Errorf("%s × %s: metadata differs", ca.Lang, ca.Class)
+			}
+			ea, eb := "", ""
+			if ca.Err != nil {
+				ea = ca.Err.Error()
+			}
+			if cb.Err != nil {
+				eb = cb.Err.Error()
+			}
+			if ea != eb {
+				t.Errorf("%s × %s: errors differ: %q vs %q", ca.Lang, ca.Class, ea, eb)
+			}
+		}
+	}
+}
+
+func TestRunParallelMatchesSequential(t *testing.T) {
+	p := ShortParams()
+	seq, err := Run(context.Background(), p, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		par, err := Run(context.Background(), p, Options{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if Render(seq) != Render(par) {
+			t.Errorf("workers=%d: rendered tables differ:\n%s\nvs\n%s", workers, Render(seq), Render(par))
+		}
+		cellErrsEqual(t, seq, par)
+	}
+}
+
+func TestRunProgressCallback(t *testing.T) {
+	var (
+		mu      sync.Mutex
+		events  []CellUpdate
+		maxDone int
+	)
+	rows, err := Run(context.Background(), ShortParams(), Options{
+		Workers: 4,
+		OnCell: func(u CellUpdate) {
+			mu.Lock()
+			defer mu.Unlock()
+			events = append(events, u)
+			if u.Done != maxDone+1 {
+				t.Errorf("Done jumped from %d to %d", maxDone, u.Done)
+			}
+			maxDone = u.Done
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 4 * len(rows)
+	if len(events) != want {
+		t.Fatalf("got %d progress events, want %d", len(events), want)
+	}
+	seen := make(map[cellKey]bool)
+	for _, u := range events {
+		if u.Total != want {
+			t.Errorf("event Total = %d, want %d", u.Total, want)
+		}
+		k := cellKey{u.Row, u.Col}
+		if seen[k] {
+			t.Errorf("cell %v completed twice", k)
+		}
+		seen[k] = true
+		got := rows[u.Row].Cells[u.Col]
+		if got.Lang != u.Cell.Lang || got.Class != u.Cell.Class {
+			t.Errorf("event cell %v does not match row %v", u.Cell, got)
+		}
+	}
+}
+
+func TestRunCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rows, err := Run(ctx, ShortParams(), Options{Workers: 4})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	for _, r := range rows {
+		for _, c := range r.Cells {
+			if c.Err == nil {
+				t.Errorf("%s × %s: expected a skip error on a cancelled run", c.Lang, c.Class)
+			} else if !errors.Is(c.Err, context.Canceled) {
+				t.Errorf("%s × %s: error %v does not wrap context.Canceled", c.Lang, c.Class, c.Err)
+			}
+		}
+	}
+}
+
+func TestRunFailFast(t *testing.T) {
+	// ShortParams' step bounds are too small for seed 2's PWD proxies, so
+	// sweeping both seeds makes at least one cell genuinely fail; fail-fast
+	// must then cancel outstanding units and surface the cause.
+	p := ShortParams()
+	p.Seeds = []int64{1, 2}
+	rows, err := Run(context.Background(), p, Options{Workers: 4, FailFast: true})
+	if err == nil {
+		t.Fatal("expected a fail-fast error")
+	}
+	failed := 0
+	for _, r := range rows {
+		for _, c := range r.Cells {
+			if c.Err != nil {
+				failed++
+			}
+		}
+	}
+	if failed == 0 {
+		t.Error("fail-fast run reports no failed cells")
+	}
+}
+
+// TestCellDeterministicAcrossGoroutines runs every unit of one cell on many
+// goroutines concurrently and asserts each concurrent evaluation folds to
+// the identical Cell result — the independence property the worker pool
+// relies on (fresh runtime, adversary and monitor state per unit; seeded
+// policies).
+func TestCellDeterministicAcrossGoroutines(t *testing.T) {
+	p := ShortParams()
+	pl := buildPlan(p)
+	// LIN_REG × PSD: a timed sweep cell with one unit per (seed, source).
+	target := cellKey{0, 2}
+	var units []unit
+	for _, u := range pl.units {
+		for _, k := range u.targets {
+			if k == target {
+				units = append(units, u)
+			}
+		}
+	}
+	if len(units) == 0 {
+		t.Fatal("no units target LIN_REG × PSD")
+	}
+
+	const goroutines = 8
+	results := make([]error, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Fold exactly as the engine does: lowest plan order wins.
+			var first error
+			for _, u := range units {
+				errs := u.run(context.Background())
+				for i, k := range u.targets {
+					if k == target && errs[i] != nil && first == nil {
+						first = errs[i]
+					}
+				}
+			}
+			results[g] = first
+		}()
+	}
+	wg.Wait()
+	for g, err := range results {
+		if (err == nil) != (results[0] == nil) {
+			t.Fatalf("goroutine %d folded %v, goroutine 0 folded %v", g, err, results[0])
+		}
+		if err != nil && err.Error() != results[0].Error() {
+			t.Fatalf("goroutine %d folded %q, goroutine 0 folded %q", g, err, results[0])
+		}
+	}
+}
+
+// TestConcurrentRunsIndependent runs several whole-table engines at once;
+// every one must produce the same rendered table. Under -race this doubles
+// as the shared-state audit for sched.Runtime and monitor.Run.
+func TestConcurrentRunsIndependent(t *testing.T) {
+	p := ShortParams()
+	want := Render(Table1(p))
+	const runs = 4
+	got := make([]string, runs)
+	var wg sync.WaitGroup
+	for i := 0; i < runs; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rows, err := Run(context.Background(), p, Options{Workers: 2})
+			if err != nil {
+				got[i] = fmt.Sprintf("error: %v", err)
+				return
+			}
+			got[i] = Render(rows)
+		}()
+	}
+	wg.Wait()
+	for i, g := range got {
+		if g != want {
+			t.Errorf("concurrent run %d rendered:\n%s\nwant:\n%s", i, g, want)
+		}
+	}
+}
+
+func TestPlanCoversAllCells(t *testing.T) {
+	pl := buildPlan(ShortParams())
+	if len(pl.rows) != 7 {
+		t.Fatalf("plan has %d rows, want 7", len(pl.rows))
+	}
+	covered := make(map[cellKey]int)
+	for _, u := range pl.units {
+		if len(u.targets) == 0 {
+			t.Errorf("unit %q has no targets", u.name)
+		}
+		for _, k := range u.targets {
+			covered[k]++
+		}
+	}
+	for r := range pl.rows {
+		for c := 0; c < 4; c++ {
+			if covered[cellKey{r, c}] == 0 {
+				t.Errorf("cell %s × %s has no units", pl.rows[r].Lang, pl.rows[r].Cells[c].Class)
+			}
+		}
+	}
+	if len(covered) != 4*len(pl.rows) {
+		t.Errorf("units cover %d cells, want %d", len(covered), 4*len(pl.rows))
+	}
+}

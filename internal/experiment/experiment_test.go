@@ -139,9 +139,7 @@ func TestWalkRejectsNonShuffle(t *testing.T) {
 }
 
 func TestPrefixAttackWEC(t *testing.T) {
-	p := DefaultParams()
-	tab := &table{p: p}
-	attack := tab.counterAttack()
+	attack := counterAttack(DefaultParams())
 	res, err := attack.Run(monitor.NewWEC(adversary.ArrayAtomic))
 	if err != nil {
 		t.Fatal(err)
@@ -157,9 +155,7 @@ func TestPrefixAttackWEC(t *testing.T) {
 }
 
 func TestPrefixAttackTimedSEC(t *testing.T) {
-	p := DefaultParams()
-	tab := &table{p: p}
-	attack := tab.counterAttack()
+	attack := counterAttack(DefaultParams())
 	res, err := attack.RunTimed(func(tau *adversary.Timed) monitor.Monitor {
 		return monitor.NewSEC(tau, adversary.ArrayAtomic)
 	}, adversary.ArrayAtomic)
@@ -201,10 +197,11 @@ func TestLemma65WordInLanguage(t *testing.T) {
 }
 
 func TestTable1AllCellsReproduce(t *testing.T) {
+	p := DefaultParams()
 	if testing.Short() {
-		t.Skip("full table is slow")
+		p = ShortParams()
 	}
-	rows := Table1(DefaultParams())
+	rows := Table1(p)
 	if len(rows) != 7 {
 		t.Fatalf("expected 7 rows, got %d", len(rows))
 	}

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -49,6 +50,25 @@ func DefaultParams() Params {
 	}
 }
 
+// ShortParams returns a shrunk parameter set for quick runs (go test -short
+// and smoke tests): one seed, shorter step bounds, smaller constructions.
+// Every cell still reproduces — the whole table runs in well under a second
+// — but the finite-run proxies for the ω-word quantifiers are coarser, and
+// only seed 1 is swept (seed 2 needs longer runs for the PWD proxies).
+func ShortParams() Params {
+	return Params{
+		Procs:        3,
+		Seeds:        []int64{1},
+		Steps:        3_000,
+		TimedSteps:   600,
+		SCSteps:      300,
+		Window:       4,
+		SwapRounds:   3,
+		AttackRounds: 3,
+		Stages:       2,
+	}
+}
+
 // Cell is one entry of Table 1.
 type Cell struct {
 	// Lang and Class locate the cell.
@@ -81,35 +101,60 @@ type Row struct {
 	Cells [4]Cell // SD, WD, PSD, PWD
 }
 
-// Table1 reproduces every cell of Table 1 and returns the rows in paper
-// order.
+// Table1 reproduces every cell of Table 1 sequentially and returns the rows
+// in paper order. It is Run with a single worker and no cancellation; use
+// Run directly for the parallel engine, progress streaming and fail-fast.
 func Table1(p Params) []Row {
-	if p.Procs == 0 {
-		p = DefaultParams()
-	}
-	t := &table{p: p}
-	return []Row{
-		t.registerRow(lang.LinReg(), true),
-		t.registerRow(lang.SCReg(), false),
-		t.ledgerRow(lang.LinLed(), true),
-		t.ledgerRow(lang.SCLed(), false),
-		t.ecLedRow(),
-		t.wecRow(),
-		t.secRow(),
-	}
+	rows, _ := Run(context.Background(), p, Options{})
+	return rows
 }
 
-type table struct {
-	p Params
+// plan is the fully laid-out Table 1: static cell metadata in rows, and the
+// executable units that reproduce the cells. Building the plan performs no
+// monitored executions; the engine (engine.go) runs the units.
+type plan struct {
+	p     Params
+	rows  []Row
+	units []unit
+}
+
+// buildPlan lays out every cell of Table 1.
+func buildPlan(p Params) *plan {
+	t := &plan{p: p}
+	t.registerRow(lang.LinReg(), true)
+	t.registerRow(lang.SCReg(), false)
+	t.ledgerRow(lang.LinLed(), true)
+	t.ledgerRow(lang.SCLed(), false)
+	t.ecLedRow()
+	t.wecRow()
+	t.secRow()
+	return t
+}
+
+// newRow appends an empty row and returns its index.
+func (t *plan) newRow(name string) int {
+	t.rows = append(t.rows, Row{Lang: name})
+	return len(t.rows) - 1
+}
+
+// setCell fills one cell's static metadata and returns its key.
+func (t *plan) setCell(row, col int, lang string, class core.Class, expected bool, method, evidence string) cellKey {
+	t.rows[row].Cells[col] = Cell{Lang: lang, Class: class, Expected: expected, Method: method, Evidence: evidence}
+	return cellKey{row, col}
+}
+
+// add appends a unit in plan order.
+func (t *plan) add(name string, targets []cellKey, run func(ctx context.Context) []error) {
+	t.units = append(t.units, unit{ord: len(t.units), name: name, targets: targets, run: run})
 }
 
 // ---------------------------------------------------------------- running
 
 // runUntimed executes a monitor against A exhibiting the source's word.
-func (t *table) runUntimed(m monitor.Monitor, src adversary.Source, seed int64, steps int) *monitor.Result {
-	adv := adversary.NewA(t.p.Procs, src)
+func runUntimed(p Params, m monitor.Monitor, src adversary.Source, seed int64, steps int) *monitor.Result {
+	adv := adversary.NewA(p.Procs, src)
 	return monitor.Run(monitor.Config{
-		N:       t.p.Procs,
+		N:       p.Procs,
 		Monitor: m,
 		NewService: func(rt *sched.Runtime) (adversary.Service, []int) {
 			return adv, []int{adv.Register(rt)}
@@ -122,11 +167,11 @@ func (t *table) runUntimed(m monitor.Monitor, src adversary.Source, seed int64, 
 }
 
 // runTimed executes a monitor factory against Aτ wrapping A.
-func (t *table) runTimed(mk func(tau *adversary.Timed) monitor.Monitor, src adversary.Source, seed int64, steps int) (*monitor.Result, *adversary.Timed) {
-	adv := adversary.NewA(t.p.Procs, src)
-	tau := adversary.NewTimed(t.p.Procs, adv, adversary.ArrayAtomic)
+func runTimed(p Params, mk func(tau *adversary.Timed) monitor.Monitor, src adversary.Source, seed int64, steps int) (*monitor.Result, *adversary.Timed) {
+	adv := adversary.NewA(p.Procs, src)
+	tau := adversary.NewTimed(p.Procs, adv, adversary.ArrayAtomic)
 	res := monitor.Run(monitor.Config{
-		N:       t.p.Procs,
+		N:       p.Procs,
 		Monitor: mk(tau),
 		NewService: func(rt *sched.Runtime) (adversary.Service, []int) {
 			return tau, []int{adv.Register(rt)}
@@ -139,63 +184,77 @@ func (t *table) runTimed(mk func(tau *adversary.Timed) monitor.Monitor, src adve
 	return res, tau
 }
 
-// sweepUntimed judges an untimed monitor against every labelled source under
-// the class's predicate.
-func (t *table) sweepUntimed(m monitor.Monitor, l lang.Lang, class core.Class, steps int) error {
+// sweepUntimed emits one unit per (seed, labelled source): each unit runs a
+// freshly built untimed monitor against the source and judges it under the
+// class's predicate. Every unit allocates its own monitor, adversary and
+// runtime, so units are safe to run concurrently.
+func (t *plan) sweepUntimed(cell cellKey, mk func() monitor.Monitor, l lang.Lang, class core.Class, steps int) {
 	for _, seed := range t.p.Seeds {
 		for _, lb := range l.Sources(t.p.Procs, seed) {
-			res := t.runUntimed(m, lb.New(), seed, steps)
-			ev := core.Eval{Class: class, Window: t.p.Window}
-			if err := ev.Check(res, lb.In); err != nil {
-				return fmt.Errorf("seed %d source %s: %w", seed, lb.Name, err)
-			}
+			t.add(fmt.Sprintf("%s × %s seed %d source %s", l.Name, class, seed, lb.Name), []cellKey{cell},
+				func(context.Context) []error {
+					res := runUntimed(t.p, mk(), lb.New(), seed, steps)
+					ev := core.Eval{Class: class, Window: t.p.Window}
+					if err := ev.Check(res, lb.In); err != nil {
+						return []error{fmt.Errorf("seed %d source %s: %w", seed, lb.Name, err)}
+					}
+					return []error{nil}
+				})
 		}
 	}
-	return nil
 }
 
-// sweepTimed judges a timed monitor factory against every labelled source,
-// with the sketch escape clause evaluated by sketchBad.
-func (t *table) sweepTimed(mk func(tau *adversary.Timed) monitor.Monitor, l lang.Lang, class core.Class, steps int, sketchBad func(sk word.Word) bool) error {
+// sweepTimed emits one unit per (seed, labelled source) judging a timed
+// monitor factory, with the sketch escape clause evaluated by sketchBad.
+func (t *plan) sweepTimed(cell cellKey, mk func(tau *adversary.Timed) monitor.Monitor, l lang.Lang, class core.Class, steps int, sketchBad func(sk word.Word) bool) {
 	for _, seed := range t.p.Seeds {
 		for _, lb := range l.Sources(t.p.Procs, seed) {
-			res, tau := t.runTimed(mk, lb.New(), seed, steps)
-			ev := core.Eval{Class: class, Window: t.p.Window, SketchViolated: func() bool {
-				sk, err := res.Sketch(t.p.Procs, tau)
-				if err != nil {
-					return false
-				}
-				return sketchBad(sk)
-			}}
-			if err := ev.Check(res, lb.In); err != nil {
-				return fmt.Errorf("seed %d source %s: %w", seed, lb.Name, err)
-			}
+			t.add(fmt.Sprintf("%s × %s seed %d source %s", l.Name, class, seed, lb.Name), []cellKey{cell},
+				func(context.Context) []error {
+					res, tau := runTimed(t.p, mk, lb.New(), seed, steps)
+					ev := core.Eval{Class: class, Window: t.p.Window, SketchViolated: func() bool {
+						sk, err := res.Sketch(t.p.Procs, tau)
+						if err != nil {
+							return false
+						}
+						return sketchBad(sk)
+					}}
+					if err := ev.Check(res, lb.In); err != nil {
+						return []error{fmt.Errorf("seed %d source %s: %w", seed, lb.Name, err)}
+					}
+					return []error{nil}
+				})
 		}
 	}
-	return nil
 }
 
 // ---------------------------------------------------------------- rows
 
-// registerRow reproduces the LIN_REG or SC_REG row (lin selects which).
-func (t *table) registerRow(l lang.Lang, lin bool) Row {
-	row := Row{Lang: l.Name}
-	swap := Lemma51{Rounds: t.p.SwapRounds}
+// registerRow lays out the LIN_REG or SC_REG row (lin selects which).
+func (t *plan) registerRow(l lang.Lang, lin bool) {
+	row := t.newRow(l.Name)
 
 	// SD ✗ and WD ✗: the Lemma 5.1 swap defeats both an order-free monitor
-	// and one wielding unbounded consensus power.
-	naive := monitor.NewNaiveOrder(spec.Register(), adversary.ArrayAtomic)
-	cons := monitor.NewConsensusOrder(spec.Register(), adversary.ArrayAtomic)
-	var swapErr error
-	for _, m := range []monitor.Monitor{naive, cons} {
-		if err := swap.Verify(m); err != nil {
-			swapErr = fmt.Errorf("%s: %w", m.Name(), err)
-			break
-		}
-	}
+	// and one wielding unbounded consensus power. One unit per monitor; both
+	// feed both cells, and the lowest plan order wins, so a naive-order
+	// failure is reported over a consensus-order one as in a sequential
+	// sweep.
 	evidence := "Lemma 5.1 swap: E≡F, x(E)∈L, x(F)∉L, against order-free and consensus-powered monitors"
-	row.Cells[0] = Cell{Lang: l.Name, Class: core.SD, Expected: false, Method: "Lemma 5.1", Evidence: evidence, Err: swapErr}
-	row.Cells[1] = Cell{Lang: l.Name, Class: core.WD, Expected: false, Method: "Lemma 5.1", Evidence: evidence, Err: swapErr}
+	sd := t.setCell(row, 0, l.Name, core.SD, false, "Lemma 5.1", evidence)
+	wd := t.setCell(row, 1, l.Name, core.WD, false, "Lemma 5.1", evidence)
+	for _, mkM := range []func() monitor.Monitor{
+		func() monitor.Monitor { return monitor.NewNaiveOrder(spec.Register(), adversary.ArrayAtomic) },
+		func() monitor.Monitor { return monitor.NewConsensusOrder(spec.Register(), adversary.ArrayAtomic) },
+	} {
+		t.add(l.Name+" Lemma 5.1 swap", []cellKey{sd, wd}, func(context.Context) []error {
+			m := mkM()
+			var err error
+			if e := (Lemma51{Rounds: t.p.SwapRounds}).Verify(m); e != nil {
+				err = fmt.Errorf("%s: %w", m.Name(), e)
+			}
+			return []error{err, err}
+		})
+	}
 
 	// PSD ✓ and PWD ✓: Figure 8 with the LIN or SC check.
 	steps := t.p.TimedSteps
@@ -209,33 +268,33 @@ func (t *table) registerRow(l lang.Lang, lin bool) Row {
 		}
 	}
 	sketchBad := func(sk word.Word) bool { return l.SafetyViolated(sk) }
-	row.Cells[2] = Cell{Lang: l.Name, Class: core.PSD, Expected: true, Method: "Figure 8",
-		Evidence: "V_O over labelled sources, PSD predicate with sketch escape",
-		Err:      t.sweepTimed(mk, l, core.PSD, steps, sketchBad)}
-	row.Cells[3] = Cell{Lang: l.Name, Class: core.PWD, Expected: true, Method: "Figure 8",
-		Evidence: "V_O over labelled sources, PWD predicate",
-		Err:      t.sweepTimed(mk, l, core.PWD, steps, sketchBad)}
-	return row
+	psd := t.setCell(row, 2, l.Name, core.PSD, true, "Figure 8", "V_O over labelled sources, PSD predicate with sketch escape")
+	t.sweepTimed(psd, mk, l, core.PSD, steps, sketchBad)
+	pwd := t.setCell(row, 3, l.Name, core.PWD, true, "Figure 8", "V_O over labelled sources, PWD predicate")
+	t.sweepTimed(pwd, mk, l, core.PWD, steps, sketchBad)
 }
 
-// ledgerRow reproduces the LIN_LED or SC_LED row.
-func (t *table) ledgerRow(l lang.Lang, lin bool) Row {
-	row := Row{Lang: l.Name}
+// ledgerRow lays out the LIN_LED or SC_LED row.
+func (t *plan) ledgerRow(l lang.Lang, lin bool) {
+	row := t.newRow(l.Name)
 
 	// SD ✗ and WD ✗ via Theorem 5.2: the Appendix A witness word is not
 	// real-time oblivious, and the shuffle walk realizes the proof's
 	// execution chain against a concrete monitor.
-	alpha := core.AppendixAWitness(t.p.Procs)
-	wit := core.FindRTOWitness(l.SafetyViolated, alpha, t.p.Procs)
-	var err error
-	if wit == nil {
-		err = fmt.Errorf("no RTO witness found for %s on the Appendix A word", l.Name)
-	} else {
-		_, err = RunWalk(monitor.NewNaiveOrder(spec.Ledger(), adversary.ArrayAtomic), t.p.Procs, wit.Alpha, wit.Shuffled)
-	}
 	evidence := "Appendix A witness + Theorem 5.2 shuffle walk (E,F,E″ triples verified)"
-	row.Cells[0] = Cell{Lang: l.Name, Class: core.SD, Expected: false, Method: "Thm 5.2", Evidence: evidence, Err: err}
-	row.Cells[1] = Cell{Lang: l.Name, Class: core.WD, Expected: false, Method: "Thm 5.2", Evidence: evidence, Err: err}
+	sd := t.setCell(row, 0, l.Name, core.SD, false, "Thm 5.2", evidence)
+	wd := t.setCell(row, 1, l.Name, core.WD, false, "Thm 5.2", evidence)
+	t.add(l.Name+" Theorem 5.2 walk", []cellKey{sd, wd}, func(context.Context) []error {
+		alpha := core.AppendixAWitness(t.p.Procs)
+		wit := core.FindRTOWitness(l.SafetyViolated, alpha, t.p.Procs)
+		var err error
+		if wit == nil {
+			err = fmt.Errorf("no RTO witness found for %s on the Appendix A word", l.Name)
+		} else {
+			_, err = RunWalk(monitor.NewNaiveOrder(spec.Ledger(), adversary.ArrayAtomic), t.p.Procs, wit.Alpha, wit.Shuffled)
+		}
+		return []error{err, err}
+	})
 
 	steps := t.p.TimedSteps
 	mk := func(tau *adversary.Timed) monitor.Monitor {
@@ -248,139 +307,161 @@ func (t *table) ledgerRow(l lang.Lang, lin bool) Row {
 		}
 	}
 	sketchBad := func(sk word.Word) bool { return l.SafetyViolated(sk) }
-	row.Cells[2] = Cell{Lang: l.Name, Class: core.PSD, Expected: true, Method: "Figure 8",
-		Evidence: "V_O over labelled sources, PSD predicate with sketch escape",
-		Err:      t.sweepTimed(mk, l, core.PSD, steps, sketchBad)}
-	row.Cells[3] = Cell{Lang: l.Name, Class: core.PWD, Expected: true, Method: "Figure 8",
-		Evidence: "V_O over labelled sources, PWD predicate",
-		Err:      t.sweepTimed(mk, l, core.PWD, steps, sketchBad)}
-	return row
+	psd := t.setCell(row, 2, l.Name, core.PSD, true, "Figure 8", "V_O over labelled sources, PSD predicate with sketch escape")
+	t.sweepTimed(psd, mk, l, core.PSD, steps, sketchBad)
+	pwd := t.setCell(row, 3, l.Name, core.PWD, true, "Figure 8", "V_O over labelled sources, PWD predicate")
+	t.sweepTimed(pwd, mk, l, core.PWD, steps, sketchBad)
 }
 
-// ecLedRow reproduces the EC_LED row: undecidable everywhere.
-func (t *table) ecLedRow() Row {
+// ecLedRow lays out the EC_LED row: undecidable everywhere.
+func (t *plan) ecLedRow() {
 	l := lang.ECLed()
-	row := Row{Lang: l.Name}
+	row := t.newRow(l.Name)
 
-	alpha := core.AppendixAWitness(t.p.Procs)
-	wit := core.FindRTOWitness(l.SafetyViolated, alpha, t.p.Procs)
-	var err error
-	if wit == nil {
-		err = fmt.Errorf("no RTO witness found for %s on the Appendix A word", l.Name)
-	} else {
-		_, err = RunWalk(monitor.NewECLed(adversary.ArrayAtomic), t.p.Procs, wit.Alpha, wit.Shuffled)
-	}
 	evidence := "Appendix A witness + Theorem 5.2 shuffle walk"
-	row.Cells[0] = Cell{Lang: l.Name, Class: core.SD, Expected: false, Method: "Thm 5.2", Evidence: evidence, Err: err}
-	row.Cells[1] = Cell{Lang: l.Name, Class: core.WD, Expected: false, Method: "Thm 5.2", Evidence: evidence, Err: err}
-
-	attack := Lemma65{N: 2, Stages: t.p.Stages}
-	aErr := attack.Verify(func(*adversary.Timed) monitor.Monitor {
-		return monitor.NewECLed(adversary.ArrayAtomic)
-	}, adversary.ArrayAtomic)
-	evidence = "Lemma 6.5 alternation attack: unbounded NOs on an in-language tight behaviour"
-	row.Cells[2] = Cell{Lang: l.Name, Class: core.PSD, Expected: false, Method: "Lemma 6.5", Evidence: evidence, Err: aErr}
-	row.Cells[3] = Cell{Lang: l.Name, Class: core.PWD, Expected: false, Method: "Lemma 6.5", Evidence: evidence, Err: aErr}
-	return row
-}
-
-// wecRow reproduces the WEC_COUNT row: ✗SD ✓WD ✗PSD ✓PWD.
-func (t *table) wecRow() Row {
-	l := lang.WECCount()
-	row := Row{Lang: l.Name}
-	attack := t.counterAttack()
-
-	res, err := attack.Run(monitor.NewWEC(adversary.ArrayAtomic))
-	if err == nil {
-		err = res.Verify(func(w word.Word) bool {
-			return check.WECSafety(w) == nil && check.Converges(w)
-		})
-	}
-	row.Cells[0] = Cell{Lang: l.Name, Class: core.SD, Expected: false, Method: "Lemma 5.2",
-		Evidence: "prefix-extension attack on Figure 5: replayed NO on an in-language word", Err: err}
-
-	row.Cells[1] = Cell{Lang: l.Name, Class: core.WD, Expected: true, Method: "Figure 5",
-		Evidence: "amplified Figure 5 over labelled sources, WD predicate",
-		Err:      t.sweepUntimed(monitor.AmplifyWAD(monitor.NewWEC(adversary.ArrayAtomic), adversary.ArrayAtomic), l, core.WD, t.p.Steps)}
-
-	tRes, tErr := attack.RunTimed(func(*adversary.Timed) monitor.Monitor {
-		return monitor.NewWEC(adversary.ArrayAtomic)
-	}, adversary.ArrayAtomic)
-	if tErr == nil {
-		tErr = tRes.Verify(func(w word.Word) bool {
-			return check.WECSafety(w) == nil && check.Converges(w)
-		})
-		if tErr == nil && !tRes.TightSketch {
-			tErr = fmt.Errorf("execution not tight: sketch escape clause remains open")
+	sd := t.setCell(row, 0, l.Name, core.SD, false, "Thm 5.2", evidence)
+	wd := t.setCell(row, 1, l.Name, core.WD, false, "Thm 5.2", evidence)
+	t.add(l.Name+" Theorem 5.2 walk", []cellKey{sd, wd}, func(context.Context) []error {
+		alpha := core.AppendixAWitness(t.p.Procs)
+		wit := core.FindRTOWitness(l.SafetyViolated, alpha, t.p.Procs)
+		var err error
+		if wit == nil {
+			err = fmt.Errorf("no RTO witness found for %s on the Appendix A word", l.Name)
+		} else {
+			_, err = RunWalk(monitor.NewECLed(adversary.ArrayAtomic), t.p.Procs, wit.Alpha, wit.Shuffled)
 		}
-	}
-	row.Cells[2] = Cell{Lang: l.Name, Class: core.PSD, Expected: false, Method: "Lemma 6.2",
-		Evidence: "tight prefix-extension attack: NO on in-language word with x(E)=x~(E)", Err: tErr}
+		return []error{err, err}
+	})
 
-	row.Cells[3] = Cell{Lang: l.Name, Class: core.PWD, Expected: true, Method: "Figure 5",
-		Evidence: "amplified Figure 5 against Aτ over labelled sources, PWD predicate",
-		Err: t.sweepTimed(func(*adversary.Timed) monitor.Monitor {
-			return monitor.AmplifyWAD(monitor.NewWEC(adversary.ArrayAtomic), adversary.ArrayAtomic)
-		}, l, core.PWD, t.p.Steps, func(sk word.Word) bool {
-			return check.WECSafety(sk) != nil
-		})}
-	return row
+	evidence = "Lemma 6.5 alternation attack: unbounded NOs on an in-language tight behaviour"
+	psd := t.setCell(row, 2, l.Name, core.PSD, false, "Lemma 6.5", evidence)
+	pwd := t.setCell(row, 3, l.Name, core.PWD, false, "Lemma 6.5", evidence)
+	t.add(l.Name+" Lemma 6.5 alternation", []cellKey{psd, pwd}, func(context.Context) []error {
+		err := (Lemma65{N: 2, Stages: t.p.Stages}).Verify(func(*adversary.Timed) monitor.Monitor {
+			return monitor.NewECLed(adversary.ArrayAtomic)
+		}, adversary.ArrayAtomic)
+		return []error{err, err}
+	})
 }
 
-// secRow reproduces the SEC_COUNT row: ✗ ✗ ✗ ✓.
-func (t *table) secRow() Row {
-	l := lang.SECCount()
-	row := Row{Lang: l.Name}
-	attack := t.counterAttack()
+// wecRow lays out the WEC_COUNT row: ✗SD ✓WD ✗PSD ✓PWD.
+func (t *plan) wecRow() {
+	l := lang.WECCount()
+	row := t.newRow(l.Name)
 
-	res, err := attack.RunTimed(func(tau *adversary.Timed) monitor.Monitor {
-		return monitor.NewSEC(tau, adversary.ArrayAtomic)
-	}, adversary.ArrayAtomic)
-	if err == nil {
-		err = res.Verify(func(w word.Word) bool {
-			return check.SECSafety(w) == nil && check.Converges(w)
-		})
+	sd := t.setCell(row, 0, l.Name, core.SD, false, "Lemma 5.2",
+		"prefix-extension attack on Figure 5: replayed NO on an in-language word")
+	t.add(l.Name+" Lemma 5.2 attack", []cellKey{sd}, func(context.Context) []error {
+		res, err := counterAttack(t.p).Run(monitor.NewWEC(adversary.ArrayAtomic))
+		if err == nil {
+			err = res.Verify(func(w word.Word) bool {
+				return check.WECSafety(w) == nil && check.Converges(w)
+			})
+		}
+		return []error{err}
+	})
+
+	wd := t.setCell(row, 1, l.Name, core.WD, true, "Figure 5",
+		"amplified Figure 5 over labelled sources, WD predicate")
+	t.sweepUntimed(wd, func() monitor.Monitor {
+		return monitor.AmplifyWAD(monitor.NewWEC(adversary.ArrayAtomic), adversary.ArrayAtomic)
+	}, l, core.WD, t.p.Steps)
+
+	psd := t.setCell(row, 2, l.Name, core.PSD, false, "Lemma 6.2",
+		"tight prefix-extension attack: NO on in-language word with x(E)=x~(E)")
+	t.add(l.Name+" Lemma 6.2 tight attack", []cellKey{psd}, func(context.Context) []error {
+		res, err := counterAttack(t.p).RunTimed(func(*adversary.Timed) monitor.Monitor {
+			return monitor.NewWEC(adversary.ArrayAtomic)
+		}, adversary.ArrayAtomic)
+		if err == nil {
+			err = res.Verify(func(w word.Word) bool {
+				return check.WECSafety(w) == nil && check.Converges(w)
+			})
+			if err == nil && !res.TightSketch {
+				err = fmt.Errorf("execution not tight: sketch escape clause remains open")
+			}
+		}
+		return []error{err}
+	})
+
+	pwd := t.setCell(row, 3, l.Name, core.PWD, true, "Figure 5",
+		"amplified Figure 5 against Aτ over labelled sources, PWD predicate")
+	t.sweepTimed(pwd, func(*adversary.Timed) monitor.Monitor {
+		return monitor.AmplifyWAD(monitor.NewWEC(adversary.ArrayAtomic), adversary.ArrayAtomic)
+	}, l, core.PWD, t.p.Steps, func(sk word.Word) bool {
+		return check.WECSafety(sk) != nil
+	})
+}
+
+// secRow lays out the SEC_COUNT row: ✗ ✗ ✗ ✓.
+func (t *plan) secRow() {
+	l := lang.SECCount()
+	row := t.newRow(l.Name)
+
+	// SD ✗ and PSD ✗ share the Figure 9 prefix-extension attack; each unit
+	// replays it independently (the canonical schedule is deterministic, so
+	// both runs produce identical facts), the PSD unit additionally closing
+	// the predictive escape clause via the tightness check.
+	runAttack := func() (*PrefixAttackResult, error) {
+		res, err := counterAttack(t.p).RunTimed(func(tau *adversary.Timed) monitor.Monitor {
+			return monitor.NewSEC(tau, adversary.ArrayAtomic)
+		}, adversary.ArrayAtomic)
+		if err == nil {
+			err = res.Verify(func(w word.Word) bool {
+				return check.SECSafety(w) == nil && check.Converges(w)
+			})
+		}
+		return res, err
 	}
-	row.Cells[0] = Cell{Lang: l.Name, Class: core.SD, Expected: false, Method: "Lemma 5.2",
-		Evidence: "prefix-extension attack on Figure 9: replayed NO on an in-language word", Err: err}
+	sd := t.setCell(row, 0, l.Name, core.SD, false, "Lemma 5.2",
+		"prefix-extension attack on Figure 9: replayed NO on an in-language word")
+	t.add(l.Name+" Lemma 5.2 attack", []cellKey{sd}, func(context.Context) []error {
+		_, err := runAttack()
+		return []error{err}
+	})
 
 	// WD ✗ via Theorem 5.2: SEC_COUNT's clause (4) makes it real-time
 	// sensitive; the walk realizes the chain on the witness.
-	alpha := secWitness()
-	wit := core.FindRTOWitness(l.SafetyViolated, alpha, 2)
-	var wErr error
-	if wit == nil {
-		wErr = fmt.Errorf("no RTO witness on the clause-4 word")
-	} else {
-		_, wErr = RunWalk(monitor.NewWEC(adversary.ArrayAtomic), 2, wit.Alpha, wit.Shuffled)
-	}
-	row.Cells[1] = Cell{Lang: l.Name, Class: core.WD, Expected: false, Method: "Thm 5.2",
-		Evidence: "clause-4 witness + shuffle walk", Err: wErr}
+	wd := t.setCell(row, 1, l.Name, core.WD, false, "Thm 5.2",
+		"clause-4 witness + shuffle walk")
+	t.add(l.Name+" Theorem 5.2 walk", []cellKey{wd}, func(context.Context) []error {
+		wit := core.FindRTOWitness(l.SafetyViolated, secWitness(), 2)
+		var err error
+		if wit == nil {
+			err = fmt.Errorf("no RTO witness on the clause-4 word")
+		} else {
+			_, err = RunWalk(monitor.NewWEC(adversary.ArrayAtomic), 2, wit.Alpha, wit.Shuffled)
+		}
+		return []error{err}
+	})
 
-	if err == nil && !res.TightSketch {
-		err = fmt.Errorf("execution not tight")
-	}
-	row.Cells[2] = Cell{Lang: l.Name, Class: core.PSD, Expected: false, Method: "Lemma 6.2",
-		Evidence: "tight prefix-extension attack on Figure 9", Err: err}
+	psd := t.setCell(row, 2, l.Name, core.PSD, false, "Lemma 6.2",
+		"tight prefix-extension attack on Figure 9")
+	t.add(l.Name+" Lemma 6.2 tight attack", []cellKey{psd}, func(context.Context) []error {
+		res, err := runAttack()
+		if err == nil && !res.TightSketch {
+			err = fmt.Errorf("execution not tight")
+		}
+		return []error{err}
+	})
 
-	row.Cells[3] = Cell{Lang: l.Name, Class: core.PWD, Expected: true, Method: "Figure 9",
-		Evidence: "amplified Figure 9 over labelled sources, PWD predicate",
-		Err: t.sweepTimed(func(tau *adversary.Timed) monitor.Monitor {
-			return monitor.AmplifyWAD(monitor.NewSEC(tau, adversary.ArrayAtomic), adversary.ArrayAtomic)
-		}, l, core.PWD, t.p.TimedSteps, func(sk word.Word) bool {
-			return check.SECSafety(sk) != nil
-		})}
-	return row
+	pwd := t.setCell(row, 3, l.Name, core.PWD, true, "Figure 9",
+		"amplified Figure 9 over labelled sources, PWD predicate")
+	t.sweepTimed(pwd, func(tau *adversary.Timed) monitor.Monitor {
+		return monitor.AmplifyWAD(monitor.NewSEC(tau, adversary.ArrayAtomic), adversary.ArrayAtomic)
+	}, l, core.PWD, t.p.TimedSteps, func(sk word.Word) bool {
+		return check.SECSafety(sk) != nil
+	})
 }
 
 // counterAttack builds the Lemma 5.2 instance: one inc, then reads of 0
 // forever (outside both counter languages); the good tail completes pending
 // operations and reads the true total forever.
-func (t *table) counterAttack() PrefixAttack {
+func counterAttack(p Params) PrefixAttack {
 	n := 2
 	b := word.NewB()
 	b.Op(0, spec.OpInc, nil, word.Unit{})
-	for r := 0; r < t.p.AttackRounds; r++ {
+	for r := 0; r < p.AttackRounds; r++ {
 		b.Op(1, spec.OpRead, nil, word.Int(0))
 		b.Op(0, spec.OpRead, nil, word.Int(0))
 	}
@@ -406,9 +487,9 @@ func (t *table) counterAttack() PrefixAttack {
 					tail.Res(op.ID.Proc, spec.OpRead, word.Int(incs))
 				}
 			}
-			for r := 0; r < t.p.AttackRounds; r++ {
-				for p := 0; p < n; p++ {
-					tail.Op(p, spec.OpRead, nil, word.Int(incs))
+			for r := 0; r < p.AttackRounds; r++ {
+				for proc := 0; proc < n; proc++ {
+					tail.Op(proc, spec.OpRead, nil, word.Int(incs))
 				}
 			}
 			return tail.Word()

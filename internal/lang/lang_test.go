@@ -149,8 +149,14 @@ func TestCounterSafety(t *testing.T) {
 
 func TestSourcesLabelledConsistently(t *testing.T) {
 	// Finite prefixes of in-language sources must never violate safety;
-	// every language needs at least one source per label.
-	const procs, steps = 3, 400
+	// every language needs at least one source per label. The whole-word
+	// safety checks are super-linear in the prefix length (the SC search is
+	// exponential in the worst case), so -short tests a shorter prefix.
+	const procs = 3
+	steps := 400
+	if testing.Short() {
+		steps = 150
+	}
 	for _, l := range All() {
 		ins, outs := 0, 0
 		for _, lb := range l.Sources(procs, 1) {

@@ -1,6 +1,8 @@
 package monitor
 
 import (
+	"flag"
+	"os"
 	"testing"
 
 	"github.com/drv-go/drv/internal/adversary"
@@ -13,18 +15,30 @@ import (
 )
 
 const (
-	testProcs = 3
-	// testSteps bounds untimed runs (cheap per-round logic); timedSteps
-	// bounds runs of the predictive monitors, whose per-round history check
-	// grows with the history; naiveSteps bounds runs of the naive baseline,
-	// whose per-round sequential-consistency search has no real-time edges to
-	// prune it and is exponential in the worst case.
+	testProcs  = 3
+	testWindow = 4
+)
+
+// testSteps bounds untimed runs (cheap per-round logic); timedSteps bounds
+// runs of the predictive monitors, whose per-round history check grows with
+// the history; naiveSteps bounds runs of the naive baseline, whose per-round
+// sequential-consistency search has no real-time edges to prune it and is
+// exponential in the worst case. TestMain shrinks all four under -short; the
+// decidability proxies stay sound, just coarser.
+var (
 	testSteps  = 30_000
 	timedSteps = 4_000
 	naiveSteps = 1_200
 	scSteps    = 1_500
-	testWindow = 4
 )
+
+func TestMain(m *testing.M) {
+	flag.Parse()
+	if testing.Short() {
+		testSteps, timedSteps, naiveSteps, scSteps = 6_000, 800, 400, 300
+	}
+	os.Exit(m.Run())
+}
 
 // runUntimed executes the monitor against the plain adversary A exhibiting
 // the source's word.

@@ -1,11 +1,13 @@
-// Root integration test: the complete Table 1 at full depth. This is the
-// repository's headline check — every ✓ and ✗ of the paper's results table,
-// reproduced by running the corresponding monitor or impossibility
-// construction. `go test -run TestTable1 .` regenerates the table;
-// cmd/drvtable prints it.
+// Root integration test: the complete Table 1. This is the repository's
+// headline check — every ✓ and ✗ of the paper's results table, reproduced by
+// running the corresponding monitor or impossibility construction, on both
+// the sequential and the parallel engine paths. `go test -run TestTable1 .`
+// regenerates the table; cmd/drvtable prints it.
 package drv_test
 
 import (
+	"context"
+	"runtime"
 	"testing"
 
 	"github.com/drv-go/drv/internal/core"
@@ -25,18 +27,9 @@ var paperTable1 = map[string][4]bool{
 
 var classOrder = [4]core.Class{core.SD, core.WD, core.PSD, core.PWD}
 
-func TestTable1(t *testing.T) {
-	p := experiment.DefaultParams()
-	if testing.Short() {
-		p.Seeds = []int64{1}
-		p.Steps = 8_000
-		p.TimedSteps = 1_500
-		p.SCSteps = 800
-		p.SwapRounds = 4
-		p.AttackRounds = 4
-		p.Stages = 2
-	}
-	rows := experiment.Table1(p)
+// checkAgainstPaper asserts the rows encode and reproduce the paper's table.
+func checkAgainstPaper(t *testing.T, rows []experiment.Row) {
+	t.Helper()
 	if len(rows) != len(paperTable1) {
 		t.Fatalf("harness produced %d rows, paper has %d", len(rows), len(paperTable1))
 	}
@@ -58,5 +51,41 @@ func TestTable1(t *testing.T) {
 			}
 		}
 	}
+}
+
+// TestTable1 reproduces the full-depth table on the parallel engine. In
+// short mode the shrunk parameter set keeps it under a second.
+func TestTable1(t *testing.T) {
+	p := experiment.DefaultParams()
+	if testing.Short() {
+		p = experiment.ShortParams()
+	}
+	rows, err := experiment.Run(context.Background(), p, experiment.Options{Workers: runtime.NumCPU()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAgainstPaper(t, rows)
 	t.Logf("Table 1 reproduced:\n%s", experiment.Render(rows))
+}
+
+// TestTable1SequentialMatchesParallel renders the table on both engine
+// paths and asserts byte-identical output — the determinism contract the
+// worker pool guarantees (order-stable folding of unit results).
+func TestTable1SequentialMatchesParallel(t *testing.T) {
+	p := experiment.ShortParams()
+	seq, err := experiment.Run(context.Background(), p, experiment.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAgainstPaper(t, seq)
+	for _, workers := range []int{2, 8} {
+		par, err := experiment.Run(context.Background(), p, experiment.Options{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if experiment.Render(seq) != experiment.Render(par) {
+			t.Errorf("workers=%d rendered table differs from sequential:\n%s\nvs\n%s",
+				workers, experiment.Render(par), experiment.Render(seq))
+		}
+	}
 }
