@@ -8,12 +8,16 @@ package drv_test
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
+	"os"
+	"runtime"
 	"testing"
 
 	"github.com/drv-go/drv/internal/abd"
 	"github.com/drv-go/drv/internal/adversary"
 	"github.com/drv-go/drv/internal/experiment"
+	"github.com/drv-go/drv/internal/explore"
 	"github.com/drv-go/drv/internal/lang"
 	"github.com/drv-go/drv/internal/monitor"
 	"github.com/drv-go/drv/internal/msgnet"
@@ -355,6 +359,89 @@ func BenchmarkLemma65_Alternation(b *testing.B) {
 		if err := l.Verify(func(*adversary.Timed) monitor.Monitor {
 			return monitor.NewECLed(adversary.ArrayAtomic)
 		}, adversary.ArrayAtomic); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------- explorer
+
+// benchExploreScenarios sizes the benchmark sweep: large enough that the
+// worker pool has work to balance, small enough for -bench runs to stay
+// interactive.
+const benchExploreScenarios = 48
+
+// BenchmarkExplore measures randomized scenario-exploration throughput
+// (scenarios/sec) sequentially versus on a full worker pool — the explorer
+// rides the same experiment.ForEach pool as Table 1, so the parallel
+// configuration shows how exploration scales with cores. When
+// BENCH_EXPLORE_OUT is set, a machine-readable baseline (see
+// BENCH_explore.json) is written there after the run.
+func BenchmarkExplore(b *testing.B) {
+	configs := []struct {
+		name    string
+		workers int
+	}{
+		{"j-1", 1},
+	}
+	// On a single-CPU machine the parallel configuration would duplicate
+	// the sequential one (and its baseline row) under the same name.
+	if n := runtime.NumCPU(); n > 1 {
+		configs = append(configs, struct {
+			name    string
+			workers int
+		}{fmt.Sprintf("j-%d", n), n})
+	}
+	type rate struct {
+		Name         string  `json:"name"`
+		Workers      int     `json:"workers"`
+		Scenarios    int     `json:"scenarios"`
+		ScenariosSec float64 `json:"scenarios_per_sec"`
+	}
+	// One slot per config, overwritten on every invocation — the testing
+	// package calls each sub-benchmark several times while calibrating
+	// b.N, and only the final (longest) measurement should land in the
+	// baseline.
+	rates := make([]rate, len(configs))
+	for ci, cfg := range configs {
+		ci, cfg := ci, cfg
+		b.Run(cfg.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				rep, err := explore.Explore(explore.Options{
+					Master: 1, Scenarios: benchExploreScenarios, Workers: cfg.workers,
+					Gen: explore.GenConfig{MaxCrashes: 2},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rep.Divergent() {
+					b.Fatalf("benchmark sweep diverged: %v", rep.Failures)
+				}
+			}
+			perSec := float64(benchExploreScenarios*b.N) / b.Elapsed().Seconds()
+			b.ReportMetric(perSec, "scenarios/s")
+			rates[ci] = rate{
+				Name: cfg.name, Workers: cfg.workers,
+				Scenarios: benchExploreScenarios, ScenariosSec: perSec,
+			}
+		})
+	}
+	if out := os.Getenv("BENCH_EXPLORE_OUT"); out != "" && rates[len(rates)-1].Scenarios > 0 {
+		baseline := struct {
+			Note   string `json:"note"`
+			NumCPU int    `json:"num_cpu"`
+			Rates  []rate `json:"rates"`
+		}{
+			Note:   "drvexplore throughput baseline; regenerate with: BENCH_EXPLORE_OUT=BENCH_explore.json go test -run '^$' -bench BenchmarkExplore -benchtime 2x .",
+			NumCPU: runtime.NumCPU(),
+			Rates:  rates,
+		}
+		js, err := json.MarshalIndent(baseline, "", "  ")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile(out, append(js, '\n'), 0o644); err != nil {
 			b.Fatal(err)
 		}
 	}

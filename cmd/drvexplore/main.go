@@ -1,0 +1,175 @@
+// Command drvexplore fuzzes the monitoring stack beyond Table 1's curated
+// executions: it generates seeded random scenarios — random schedules,
+// random crash schedules, random labelled adversary behaviours — runs the
+// corresponding monitors, and differentially checks every verdict stream
+// against the ground-truth oracles. Divergent scenarios are shrunk to
+// minimal reproducers and reported as one-line seed specs.
+//
+// The sweep is deterministic: the same flags produce a byte-identical
+// report (and -out file) for every worker count.
+//
+// Usage:
+//
+//	drvexplore [-seeds k] [-master m] [-j workers] [-lang L1,L2] [-crashes c]
+//	           [-max-steps s] [-replay-check] [-no-shrink] [-progress]
+//	           [-out seeds.json]
+//	drvexplore -replay "drv1:WEC_COUNT/exact:n=3:seed=7:pol=random:steps=2600"
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strings"
+
+	"github.com/drv-go/drv/internal/explore"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("drvexplore", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	seeds := fs.Int("seeds", 200, "number of random scenarios to run")
+	master := fs.Int64("master", 1, "master seed; scenario i derives its own stream from (master, i)")
+	var workers int
+	fs.IntVar(&workers, "j", runtime.NumCPU(), "worker-pool size; 1 runs scenarios sequentially")
+	fs.IntVar(&workers, "parallel", runtime.NumCPU(), "alias for -j")
+	langs := fs.String("lang", "", "comma-separated language filter (default: all seven)")
+	crashes := fs.Int("crashes", 2, "max crashes per scenario (0 disables crash injection)")
+	maxSteps := fs.Int("max-steps", 0, "cap on a scenario's scheduler step bound (0 = family defaults)")
+	replayCheck := fs.Bool("replay-check", false, "re-execute every scenario and flag digest mismatches (doubles the work)")
+	noShrink := fs.Bool("no-shrink", false, "report divergent scenarios without minimizing them")
+	progress := fs.Bool("progress", false, "stream per-scenario completion to stderr")
+	out := fs.String("out", "", "write the JSON report to this file")
+	replay := fs.String("replay", "", "replay a single seed spec and print its outcome (ignores sweep flags)")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+
+	if *replay != "" {
+		return replayOne(*replay, stdout, stderr)
+	}
+
+	opts := explore.Options{
+		Master:    *master,
+		Scenarios: *seeds,
+		Workers:   workers,
+		Gen:       explore.GenConfig{MaxCrashes: *crashes, MaxSteps: *maxSteps},
+		Replay:    *replayCheck,
+		Shrink:    !*noShrink,
+	}
+	if *langs != "" {
+		opts.Gen.Langs = strings.Split(*langs, ",")
+	}
+	if *progress {
+		done := 0
+		opts.OnScenario = func(i int, o *explore.Outcome) {
+			done++
+			status := "ok"
+			if len(o.Divergences) > 0 {
+				status = "DIVERGED"
+			}
+			fmt.Fprintf(stderr, "[%4d/%d] %-60s %s\n", done, *seeds, o.Spec.String(), status)
+		}
+	}
+
+	rep, err := explore.Explore(opts)
+	if err != nil {
+		fmt.Fprintf(stderr, "drvexplore: %v\n", err)
+		return 2
+	}
+
+	fmt.Fprintf(stdout, "explored %d scenarios (master seed %d): %d crashed runs, %d steps, %d verdicts\n",
+		rep.Scenarios, rep.Master, rep.Crashed, rep.TotalSteps, rep.TotalVerdicts)
+	fmt.Fprintf(stdout, "checks run: %s\n", countList(rep.Checks))
+	fmt.Fprintf(stdout, "checks skipped: %s\n", countList(rep.Skipped))
+	for _, f := range rep.Failures {
+		fmt.Fprintf(stdout, "\nDIVERGENCE %s\n", f.Spec)
+		for _, d := range f.Divergences {
+			fmt.Fprintf(stdout, "  %-14s %s\n", d.Check+":", d.Detail)
+		}
+		if f.Shrunk != "" {
+			fmt.Fprintf(stdout, "  shrunk to %s (%d steps)\n", f.Shrunk, f.ShrunkSteps)
+			for _, d := range f.ShrunkDivergences {
+				fmt.Fprintf(stdout, "    %-12s %s\n", d.Check+":", d.Detail)
+			}
+		}
+	}
+
+	// A failed report write is a runtime failure (exit 1, like a failed
+	// reproduction), never a usage error, and must not suppress the
+	// divergence summary.
+	writeFailed := false
+	if *out != "" {
+		js, err := json.MarshalIndent(rep, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*out, append(js, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(stderr, "drvexplore: writing report: %v\n", err)
+			writeFailed = true
+		}
+	}
+
+	if rep.Divergent() {
+		fmt.Fprintf(stdout, "\n%d divergent scenario(s)\n", len(rep.Failures))
+		return 1
+	}
+	fmt.Fprintln(stdout, "no divergences")
+	if writeFailed {
+		return 1
+	}
+	return 0
+}
+
+// replayOne executes a single seed spec and prints its outcome.
+func replayOne(specLine string, stdout, stderr io.Writer) int {
+	s, err := explore.ParseSpec(specLine)
+	if err != nil {
+		fmt.Fprintf(stderr, "drvexplore: %v\n", err)
+		return 2
+	}
+	out, err := explore.Execute(s)
+	if err != nil {
+		fmt.Fprintf(stderr, "drvexplore: %v\n", err)
+		return 2
+	}
+	fmt.Fprintf(stdout, "spec:     %s\n", out.Spec)
+	fmt.Fprintf(stdout, "monitor:  %s\n", out.Monitor)
+	fmt.Fprintf(stdout, "label:    in-language=%v\n", out.Label)
+	fmt.Fprintf(stdout, "steps:    %d\nverdicts: %d (%d NO)\ndigest:   %s\n", out.Steps, out.Verdicts, out.NOs, out.Digest)
+	fmt.Fprintf(stdout, "checks:   ran %s; skipped %s\n", strings.Join(out.Ran, ","), strings.Join(out.Skipped, ","))
+	if len(out.Divergences) == 0 {
+		fmt.Fprintln(stdout, "no divergences")
+		return 0
+	}
+	for _, d := range out.Divergences {
+		fmt.Fprintf(stdout, "DIVERGENCE %-14s %s\n", d.Check+":", d.Detail)
+	}
+	return 1
+}
+
+// countList renders a count map deterministically (sorted by key) as
+// "name=count name=count".
+func countList(m map[string]int) string {
+	if len(m) == 0 {
+		return "none"
+	}
+	parts := make([]string, 0, len(m))
+	for _, name := range explore.CheckNames() {
+		if c, ok := m[name]; ok {
+			parts = append(parts, fmt.Sprintf("%s=%d", name, c))
+		}
+	}
+	return strings.Join(parts, " ")
+}

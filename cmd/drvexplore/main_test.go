@@ -1,0 +1,147 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// smallArgs keeps CLI tests fast: a few dozen scenarios, no replay.
+var smallArgs = []string{"-seeds", "25", "-crashes", "2"}
+
+func runExplore(t *testing.T, extra ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(append(append([]string{}, smallArgs...), extra...), &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func TestCleanSweepExitsZero(t *testing.T) {
+	code, out, errOut := runExplore(t, "-j", "2")
+	if code != 0 {
+		t.Fatalf("exit %d, stdout:\n%s\nstderr:\n%s", code, out, errOut)
+	}
+	if !strings.Contains(out, "no divergences") {
+		t.Errorf("missing clean-sweep summary:\n%s", out)
+	}
+	if !strings.Contains(out, "explored 25 scenarios") {
+		t.Errorf("missing scenario count:\n%s", out)
+	}
+}
+
+func TestOutputDeterministicAcrossWorkers(t *testing.T) {
+	dir := t.TempDir()
+	var files []string
+	var outs []string
+	for i, j := range []string{"1", "4"} {
+		f := filepath.Join(dir, "seeds"+j+".json")
+		code, out, errOut := runExplore(t, "-j", j, "-out", f)
+		if code != 0 {
+			t.Fatalf("-j %s: exit %d, stderr:\n%s", j, code, errOut)
+		}
+		files = append(files, f)
+		outs = append(outs, out)
+		_ = i
+	}
+	a, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(files[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Errorf("-out files differ between -j 1 and -j 4:\n%s\nvs\n%s", a, b)
+	}
+	if outs[0] != outs[1] {
+		t.Errorf("stdout differs between -j 1 and -j 4")
+	}
+	if !strings.Contains(string(a), "\"master\": 1") {
+		t.Errorf("report JSON missing master seed:\n%s", a)
+	}
+}
+
+func TestLangFilter(t *testing.T) {
+	dir := t.TempDir()
+	f := filepath.Join(dir, "seeds.json")
+	code, _, errOut := runExplore(t, "-lang", "WEC_COUNT", "-out", f)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, errOut)
+	}
+	js, err := os.ReadFile(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(js), "WEC_COUNT") {
+		t.Errorf("filtered sweep never ran WEC_COUNT:\n%s", js)
+	}
+	for _, other := range []string{"LIN_REG", "SC_REG", "LIN_LED", "SC_LED", "EC_LED", "SEC_COUNT"} {
+		if strings.Contains(string(js), other) {
+			t.Errorf("filtered sweep ran %s:\n%s", other, js)
+		}
+	}
+}
+
+func TestUnknownLangRejected(t *testing.T) {
+	code, _, errOut := runExplore(t, "-lang", "NO_SUCH")
+	if code != 2 {
+		t.Fatalf("unknown language exited %d, want 2", code)
+	}
+	if !strings.Contains(errOut, "NO_SUCH") {
+		t.Errorf("no diagnostic for the unknown language: %s", errOut)
+	}
+}
+
+func TestReplaySpec(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	spec := "drv1:WEC_COUNT/exact:n=3:seed=7:pol=random:steps=2600"
+	code := run([]string{"-replay", spec}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("replay exited %d, stderr:\n%s", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{spec, "digest:", "no divergences"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("replay output missing %q:\n%s", want, out)
+		}
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-replay", "garbage"}, &stdout, &stderr); code != 2 {
+		t.Errorf("malformed replay spec exited %d, want 2", code)
+	}
+}
+
+func TestProgressGoesToStderrOnly(t *testing.T) {
+	code, out, errOut := runExplore(t, "-j", "2", "-progress")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if strings.Contains(out, "[") {
+		t.Error("progress lines leaked into stdout")
+	}
+	if got := strings.Count(errOut, "\n"); got != 25 {
+		t.Errorf("expected 25 progress lines on stderr, got %d", got)
+	}
+}
+
+func TestHelpExitsZero(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-h"}, &stdout, &stderr); code != 0 {
+		t.Errorf("-h exited %d, want 0", code)
+	}
+	if !strings.Contains(stderr.String(), "Usage of drvexplore") {
+		t.Errorf("no usage text on stderr: %s", stderr.String())
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-no-such-flag"}, &stdout, &stderr); code != 2 {
+		t.Errorf("bad flag exited %d, want 2", code)
+	}
+}

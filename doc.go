@@ -32,10 +32,16 @@
 //   - internal/sut — real object implementations (correct and seeded-bug)
 //     monitored end to end; internal/msgnet and internal/abd port the stack
 //     to message passing via the ABD register emulation.
+//   - internal/explore — the randomized scenario explorer: seeded random
+//     schedules, crash schedules and adversary behaviours run through the
+//     real monitors, with every verdict stream differentially checked
+//     against the ground-truth oracles; divergences shrink to one-line seed
+//     specs.
 //
 // The cmd directory holds the reproduction tools (drvtable, drvtrace,
-// drvmon, drvsketch); examples holds five runnable walkthroughs. The root
-// bench and test files regenerate every table and figure of the paper.
+// drvmon, drvsketch, drvexplore); examples holds five runnable
+// walkthroughs. The root bench and test files regenerate every table and
+// figure of the paper.
 //
 // Table 1 runs on a parallel experiment engine (internal/experiment.Run):
 // the table decomposes into independent units — one per (cell, seed,

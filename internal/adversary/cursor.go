@@ -189,6 +189,10 @@ func (a *A) Recv(p *sched.Proc) Response {
 // History implements Service.
 func (a *A) History() word.Word { return a.history.Clone() }
 
+// HistLen returns the number of symbols emitted so far — len(History())
+// without the clone, cheap enough to record at every verdict.
+func (a *A) HistLen() int { return len(a.history) }
+
 // Pulled returns how many symbols have been consumed from the source —
 // everything that can have influenced the execution so far. Prefix-extension
 // attacks (Lemmas 5.2, 6.2, 6.5) cut their hybrid words at this boundary so

@@ -93,6 +93,10 @@ func (t *Timed) Recv(p *sched.Proc) Response {
 // returned by Aτ — ignoring views.
 func (t *Timed) History() word.Word { return t.history.Clone() }
 
+// HistLen returns the number of outer events so far — len(History()) without
+// the clone, cheap enough to record at every verdict.
+func (t *Timed) HistLen() int { return len(t.history) }
+
 // InnerHistory returns the behaviour the wrapped service exhibited, for
 // Lemma 6.1/6.3 experiments relating the correctness of A and Aτ.
 func (t *Timed) InnerHistory() word.Word { return t.inner.History() }

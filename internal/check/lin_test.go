@@ -262,3 +262,167 @@ func randomRet(rng *rand.Rand, op string) word.Value {
 		return word.Unit{}
 	}
 }
+
+func TestLinearizableTrickyHistories(t *testing.T) {
+	// The explorer uses this checker as its differential oracle, so the
+	// known-tricky corners need direct coverage: operations left pending by
+	// crashes, response/invocation mismatches, and reads racing writes.
+	reg := spec.Register()
+	ctr := spec.Counter()
+	led := spec.Ledger()
+	tests := []struct {
+		name string
+		obj  spec.Object
+		w    word.Word
+		lin  bool
+		sc   bool
+	}{
+		{
+			name: "two writers crash mid-operation, read may see either",
+			obj:  reg,
+			// p0 and p1 both have pending writes (crashed before the
+			// response); p2's read of 2 is justified by completing p1's.
+			w: word.NewB().
+				Inv(0, spec.OpWrite, word.Int(1)).
+				Inv(1, spec.OpWrite, word.Int(2)).
+				Op(2, spec.OpRead, word.Unit{}, word.Int(2)).Word(),
+			lin: true, sc: true,
+		},
+		{
+			name: "crashed write cannot justify a third value",
+			obj:  reg,
+			w: word.NewB().
+				Inv(0, spec.OpWrite, word.Int(1)).
+				Op(2, spec.OpRead, word.Unit{}, word.Int(7)).Word(),
+			lin: false, sc: false,
+		},
+		{
+			name: "pending write taken then dropped: two reads disagree",
+			obj:  reg,
+			// The read of 1 requires linearizing the pending write; the
+			// later read of 0 then regresses for the same reader — the
+			// pending operation cannot be both taken and not taken.
+			w: word.NewB().
+				Inv(0, spec.OpWrite, word.Int(1)).
+				Op(1, spec.OpRead, word.Unit{}, word.Int(1)).
+				Op(1, spec.OpRead, word.Unit{}, word.Int(0)).Word(),
+			lin: false, sc: false,
+		},
+		{
+			name: "read racing two overlapping writes may see the later one",
+			obj:  reg,
+			w: word.NewB().
+				Inv(0, spec.OpWrite, word.Int(1)).
+				Inv(1, spec.OpWrite, word.Int(2)).
+				Inv(2, spec.OpRead, word.Unit{}).
+				Res(0, spec.OpWrite, word.Unit{}).
+				Res(1, spec.OpWrite, word.Unit{}).
+				Res(2, spec.OpRead, word.Int(1)).Word(),
+			lin: true, sc: true,
+		},
+		{
+			name: "write completed before read invoked is not overtakable",
+			obj:  reg,
+			// w(1) ≺ w(2) ≺ read: the read must see 2 under
+			// linearizability but SC may reorder the second write after it.
+			w: word.NewB().
+				Op(0, spec.OpWrite, word.Int(1), word.Unit{}).
+				Op(0, spec.OpWrite, word.Int(2), word.Unit{}).
+				Op(1, spec.OpRead, word.Unit{}, word.Int(1)).Word(),
+			lin: false, sc: true,
+		},
+		{
+			name: "counter read may include a crashed pending inc",
+			obj:  ctr,
+			w: word.NewB().
+				Op(0, spec.OpInc, word.Unit{}, word.Unit{}).
+				Inv(1, spec.OpInc, word.Unit{}).
+				Op(2, spec.OpRead, word.Unit{}, word.Int(2)).Word(),
+			lin: true, sc: true,
+		},
+		{
+			name: "counter read cannot exceed completed plus pending incs",
+			obj:  ctr,
+			w: word.NewB().
+				Op(0, spec.OpInc, word.Unit{}, word.Unit{}).
+				Inv(1, spec.OpInc, word.Unit{}).
+				Op(2, spec.OpRead, word.Unit{}, word.Int(3)).Word(),
+			lin: false, sc: false,
+		},
+		{
+			name: "ledger get sees crashed pending append",
+			obj:  led,
+			w: word.NewB().
+				Inv(0, spec.OpAppend, word.Rec("a")).
+				Op(1, spec.OpGet, word.Unit{}, word.Seq{"a"}).Word(),
+			lin: true, sc: true,
+		},
+		{
+			name: "ledger gets must agree on one order of concurrent appends",
+			obj:  led,
+			// Both appends overlap, but the two gets return incomparable
+			// orders — no single witness sequence exists.
+			w: word.NewB().
+				Inv(0, spec.OpAppend, word.Rec("a")).
+				Inv(1, spec.OpAppend, word.Rec("b")).
+				Res(0, spec.OpAppend, word.Unit{}).
+				Res(1, spec.OpAppend, word.Unit{}).
+				Op(2, spec.OpGet, word.Unit{}, word.Seq{"a", "b"}).
+				Op(2, spec.OpGet, word.Unit{}, word.Seq{"b", "a"}).Word(),
+			lin: false, sc: false,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Linearizable(tt.obj, tt.w); got != tt.lin {
+				t.Errorf("Linearizable = %v, want %v", got, tt.lin)
+			}
+			if got := SeqConsistent(tt.obj, tt.w); got != tt.sc {
+				t.Errorf("SeqConsistent = %v, want %v", got, tt.sc)
+			}
+		})
+	}
+}
+
+func TestIllFormedHistoriesRejectedUpstream(t *testing.T) {
+	// Duplicate responses and responses without invocations are not
+	// consistency violations but well-formedness ones: the checkers assume
+	// WellFormed input (Operations panics otherwise), and the explorer's
+	// wellformed check screens histories before this oracle ever runs.
+	// Pin the division of labour.
+	cases := []struct {
+		name string
+		w    word.Word
+	}{
+		{
+			name: "duplicate response",
+			w: word.NewB().
+				Inv(0, spec.OpWrite, word.Int(1)).
+				Res(0, spec.OpWrite, word.Unit{}).
+				Res(0, spec.OpWrite, word.Unit{}).Word(),
+		},
+		{
+			name: "response with no invocation",
+			w:    word.NewB().Res(1, spec.OpRead, word.Int(0)).Word(),
+		},
+		{
+			name: "response names a different operation",
+			w: word.NewB().
+				Inv(0, spec.OpWrite, word.Int(1)).
+				Res(0, spec.OpRead, word.Int(1)).Word(),
+		},
+		{
+			name: "second invocation while pending",
+			w: word.NewB().
+				Inv(0, spec.OpWrite, word.Int(1)).
+				Inv(0, spec.OpWrite, word.Int(2)).Word(),
+		},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := word.WellFormed(tt.w); err == nil {
+				t.Fatalf("WellFormed accepted %v", tt.w)
+			}
+		})
+	}
+}

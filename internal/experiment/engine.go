@@ -99,29 +99,45 @@ func Run(ctx context.Context, p Params, opts Options) ([]Row, error) {
 		}
 	}
 
-	if opts.Workers <= 1 {
-		for _, u := range pl.units {
-			exec(u)
-		}
-	} else {
-		jobs := make(chan unit)
-		var wg sync.WaitGroup
-		for w := 0; w < opts.Workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for u := range jobs {
-					exec(u)
-				}
-			}()
-		}
-		for _, u := range pl.units {
-			jobs <- u
-		}
-		close(jobs)
-		wg.Wait()
-	}
+	ForEach(len(pl.units), opts.Workers, func(i int) { exec(pl.units[i]) })
 	return a.rows, context.Cause(ctx)
+}
+
+// ForEach runs fn(i) for every index in [0, total) on a bounded worker pool
+// of the given size; values ≤ 1 run the indices sequentially on the calling
+// goroutine, in order. It returns when every call has finished. ForEach is
+// the engine's scheduling core, exported so that other independent-unit
+// workloads — the scenario explorer fans its random executions through it —
+// reuse the same pool discipline: indices are dispatched in order, results
+// must be folded by index (not completion order) for deterministic output,
+// and fn must confine its writes to per-index state or its own
+// synchronization.
+func ForEach(total, workers int, fn func(i int)) {
+	if workers <= 1 {
+		for i := 0; i < total; i++ {
+			fn(i)
+		}
+		return
+	}
+	if workers > total {
+		workers = total
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < total; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
 }
 
 // agg folds unit errors back into cells. All mutation happens under mu, so

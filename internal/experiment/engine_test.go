@@ -243,3 +243,32 @@ func TestPlanCoversAllCells(t *testing.T) {
 		t.Errorf("units cover %d cells, want %d", len(covered), 4*len(pl.rows))
 	}
 }
+
+func TestForEachCoversAllIndicesOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 8, 64} {
+		var mu sync.Mutex
+		counts := make([]int, 37)
+		ForEach(len(counts), workers, func(i int) {
+			mu.Lock()
+			counts[i]++
+			mu.Unlock()
+		})
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachSequentialOrder(t *testing.T) {
+	var order []int
+	ForEach(10, 1, func(i int) { order = append(order, i) })
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("sequential ForEach visited %v", order)
+		}
+	}
+	// Zero work is a no-op for any worker count.
+	ForEach(0, 4, func(int) { t.Fatal("fn called for empty range") })
+}

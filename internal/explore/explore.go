@@ -1,0 +1,195 @@
+// Package explore is a seeded, deterministic scenario-exploration engine:
+// randomized differential testing for the whole monitoring stack. The paper's
+// Table 1 experiments exercise a curated execution per cell, but its
+// decidability claims quantify over all asynchronous fault-prone executions;
+// this package samples that space. Each scenario draws a random scheduling
+// policy (package sched), a random crash schedule, and a labelled adversary
+// source (package lang), runs a real monitor through monitor.Run, and
+// differentially checks the verdict stream against ground-truth oracles: the
+// languages' safety checkers (package check), the sources' ω-membership
+// labels, and structural invariants of the adversary construction.
+//
+// Everything is deterministic in the master seed: scenario i of master seed m
+// is the same execution no matter how many workers run (scenarios fan out on
+// the experiment package's ForEach pool and fold back by index), so an
+// explorer report is byte-reproducible and any divergence is replayable from
+// its one-line seed spec. A divergent scenario is shrunk — fewer crashes,
+// fewer processes, fewer scheduler steps — to a minimal reproducer before it
+// is reported.
+//
+// cmd/drvexplore is the command-line front end; corpus_test.go pins a
+// regression corpus of interesting specs.
+package explore
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/drv-go/drv/internal/experiment"
+	"github.com/drv-go/drv/internal/monitor"
+)
+
+// Options configures one exploration run.
+type Options struct {
+	// Master seeds the whole exploration; scenario i derives its own
+	// independent seed from (Master, i).
+	Master int64
+	// Scenarios is how many random scenarios to run.
+	Scenarios int
+	// Workers is the worker-pool size; ≤ 1 runs scenarios sequentially.
+	Workers int
+	// Gen constrains scenario generation.
+	Gen GenConfig
+	// Replay re-executes every scenario and reports a divergence when the
+	// two runs' digests differ — the determinism axis of the differential
+	// check. Doubles the work.
+	Replay bool
+	// Shrink minimizes divergent scenarios to small reproducers.
+	Shrink bool
+	// ShrinkBudget bounds the number of candidate executions one shrink may
+	// spend (0 = default).
+	ShrinkBudget int
+	// Wrap, when non-nil, wraps every scenario's monitor; tests use it to
+	// inject synthetically broken monitors and assert the explorer catches
+	// them.
+	Wrap func(monitor.Monitor) monitor.Monitor
+	// OnScenario, when non-nil, receives one event per finished scenario.
+	// Events are serialized but arrive in nondeterministic order when
+	// Workers > 1.
+	OnScenario func(index int, out *Outcome)
+}
+
+// Failure is one divergent scenario of a report.
+type Failure struct {
+	// Spec is the scenario's seed spec, replayable with drvexplore -replay.
+	Spec string `json:"spec"`
+	// Divergences are the failed checks.
+	Divergences []Divergence `json:"divergences"`
+	// Shrunk is the minimized reproducer ("" when shrinking was off or
+	// failed to reproduce).
+	Shrunk string `json:"shrunk,omitempty"`
+	// ShrunkSteps is the scheduler step bound of the minimized reproducer.
+	ShrunkSteps int `json:"shrunk_steps,omitempty"`
+	// ShrunkDivergences are the checks that still fail on the reproducer.
+	ShrunkDivergences []Divergence `json:"shrunk_divergences,omitempty"`
+}
+
+// Report is the deterministic outcome of an exploration.
+type Report struct {
+	Master    int64 `json:"master"`
+	Scenarios int   `json:"scenarios"`
+	// Failures lists divergent scenarios in scenario order.
+	Failures []Failure `json:"failures"`
+	// Checks counts how many times each differential check ran.
+	Checks map[string]int `json:"checks"`
+	// Skipped counts checks that did not apply (crashed runs skip label
+	// checks, short runs skip tail proxies).
+	Skipped map[string]int `json:"skipped"`
+	// ByLang counts scenarios per language.
+	ByLang map[string]int `json:"by_lang"`
+	// Crashed counts scenarios that included at least one crash.
+	Crashed int `json:"crashed"`
+	// TotalSteps and TotalVerdicts aggregate the executions (replay runs
+	// excluded).
+	TotalSteps    int64 `json:"total_steps"`
+	TotalVerdicts int64 `json:"total_verdicts"`
+}
+
+// Divergent reports whether the exploration found any divergence.
+func (r *Report) Divergent() bool { return len(r.Failures) > 0 }
+
+// Explore runs the configured number of random scenarios on a bounded worker
+// pool and folds the outcomes into a report that is identical for every
+// worker count.
+func Explore(opts Options) (*Report, error) {
+	if opts.Scenarios < 0 {
+		return nil, fmt.Errorf("explore: negative scenario count %d", opts.Scenarios)
+	}
+	if err := opts.Gen.validate(); err != nil {
+		return nil, err
+	}
+	specs := make([]Spec, opts.Scenarios)
+	for i := range specs {
+		specs[i] = NewSpec(opts.Master, i, opts.Gen)
+	}
+	runner := Runner{Wrap: opts.Wrap}
+
+	outcomes := make([]*Outcome, opts.Scenarios)
+	errs := make([]error, opts.Scenarios)
+	var mu sync.Mutex
+	experiment.ForEach(opts.Scenarios, opts.Workers, func(i int) {
+		out, err := runner.Execute(specs[i])
+		if err == nil && opts.Replay {
+			again, err2 := runner.Execute(specs[i])
+			if err2 != nil {
+				err = err2
+			} else {
+				out.Ran = append(out.Ran, CheckReplay)
+				if again.Digest != out.Digest {
+					out.Divergences = append(out.Divergences, Divergence{
+						Check:  CheckReplay,
+						Detail: fmt.Sprintf("digest %s on first run, %s on replay", out.Digest, again.Digest),
+					})
+				}
+			}
+		}
+		outcomes[i], errs[i] = out, err
+		if opts.OnScenario != nil && out != nil {
+			mu.Lock()
+			opts.OnScenario(i, out)
+			mu.Unlock()
+		}
+	})
+
+	rep := &Report{
+		Master:    opts.Master,
+		Scenarios: opts.Scenarios,
+		Failures:  []Failure{},
+		Checks:    map[string]int{},
+		Skipped:   map[string]int{},
+		ByLang:    map[string]int{},
+	}
+	for i, out := range outcomes {
+		if errs[i] != nil {
+			return nil, fmt.Errorf("explore: scenario %d (%s): %w", i, specs[i], errs[i])
+		}
+		rep.ByLang[out.Spec.Lang]++
+		if len(out.Spec.Crashes) > 0 {
+			rep.Crashed++
+		}
+		for _, c := range out.Ran {
+			rep.Checks[c]++
+		}
+		for _, c := range out.Skipped {
+			rep.Skipped[c]++
+		}
+		rep.TotalSteps += int64(out.Steps)
+		rep.TotalVerdicts += int64(out.Verdicts)
+		if len(out.Divergences) == 0 {
+			continue
+		}
+		f := Failure{Spec: out.Spec.String(), Divergences: out.Divergences}
+		if opts.Shrink {
+			shrunk, still := ShrinkSpec(out.Spec, runner, opts.ShrinkBudget)
+			if len(still) > 0 {
+				f.Shrunk = shrunk.String()
+				f.ShrunkSteps = shrunk.Steps
+				f.ShrunkDivergences = still
+			}
+		}
+		rep.Failures = append(rep.Failures, f)
+	}
+	return rep, nil
+}
+
+// CheckNames returns the names of every differential check the explorer can
+// run, sorted; reports index their Checks/Skipped maps by these.
+func CheckNames() []string {
+	names := []string{
+		CheckWellFormed, CheckSourcePrefix, CheckOwnSafety, CheckCrashQuiet,
+		CheckLabelSafety, CheckClass, CheckReplay,
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,193 @@
+package explore
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestSpecStringRoundTrip(t *testing.T) {
+	// Every generated spec must survive the one-line encoding unchanged —
+	// the corpus and replay machinery depend on it.
+	for i := 0; i < 200; i++ {
+		s := NewSpec(2026, i, GenConfig{MaxCrashes: 3})
+		parsed, err := ParseSpec(s.String())
+		if err != nil {
+			t.Fatalf("spec %d %q: %v", i, s.String(), err)
+		}
+		if parsed.String() != s.String() {
+			t.Fatalf("round trip changed %q into %q", s.String(), parsed.String())
+		}
+	}
+}
+
+func TestParseSpecRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"",
+		"drv0:WEC_COUNT/exact:n=3:seed=1:pol=random:steps=10",
+		"drv1:WEC_COUNT:n=3:seed=1:pol=random:steps=10",
+		"drv1:WEC_COUNT/exact:n=0:seed=1:pol=random:steps=10",
+		"drv1:WEC_COUNT/exact:n=3:seed=1:pol=random:steps=0",
+		"drv1:WEC_COUNT/exact:n=3:seed=1:pol=sloppy:steps=10",
+		"drv1:WEC_COUNT/exact:n=3:seed=1:pol=random:steps=10:crash=9@5",
+		"drv1:WEC_COUNT/exact:n=3:seed=1:pol=random:steps=10:crash=0@99",
+		"drv1:WEC_COUNT/exact:n=3:seed=1:pol=random:steps=10:crash=0@5extra",
+		"drv1:WEC_COUNT/exact:n=3:seed=1:pol=random:steps=10:crash=0@10",
+		"drv1:WEC_COUNT/exact:n=3:seed=1:pol=random:steps=100:crash=0@1O0",
+		"drv1:WEC_COUNT/exact:n=3:seed=1:pol=random:steps=10:bogus=1",
+		"drv1:WEC_COUNT/exact:n=3:seed=1:pol=biased/0.755:steps=10",
+		"drv1:WEC_COUNT/exact:n=3:seed=1:pol=biased/1.50:steps=10",
+		"drv1:WEC_COUNT/exact:n=3:seed=1:pol=random/0.50:steps=10",
+	}
+	for _, in := range bad {
+		if _, err := ParseSpec(in); err == nil {
+			t.Errorf("ParseSpec(%q) accepted a malformed spec", in)
+		}
+	}
+}
+
+func TestExecuteRejectsUnknownLangAndSource(t *testing.T) {
+	if _, err := Execute(Spec{Lang: "NO_SUCH", Source: "exact", N: 2, Policy: PolRandom, Steps: 10}); err == nil {
+		t.Error("unknown language accepted")
+	}
+	if _, err := Execute(Spec{Lang: "WEC_COUNT", Source: "no-such", N: 2, Policy: PolRandom, Steps: 10}); err == nil {
+		t.Error("unknown source accepted")
+	}
+}
+
+func TestExecuteDeterministicDigest(t *testing.T) {
+	// The same spec must reproduce the same execution bit for bit; the
+	// digest covers the history and every verdict's step and history index.
+	specs := []string{
+		"drv1:WEC_COUNT/exact:n=3:seed=7:pol=random:steps=2600",
+		"drv1:LIN_REG/atomic:n=3:seed=7:pol=bursty:steps=500",
+		"drv1:SEC_COUNT/over-read:n=2:seed=7:pol=biased/0.60:steps=2100",
+		"drv1:EC_LED/gossip-converge:n=3:seed=7:pol=cursor:steps=800:crash=1@222",
+	}
+	for _, in := range specs {
+		s, err := ParseSpec(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := Execute(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Execute(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Digest != b.Digest {
+			t.Errorf("%s: digest %s then %s across two executions", in, a.Digest, b.Digest)
+		}
+	}
+}
+
+// sweepSize returns the scenario count for sweep tests: small in -short,
+// fuller at full depth.
+func sweepSize() int {
+	if testing.Short() {
+		return 40
+	}
+	return 300
+}
+
+func TestExploreDeterministicAcrossWorkers(t *testing.T) {
+	// The folded report must be byte-identical for every worker count —
+	// the same property drvtable guarantees for Table 1.
+	n := sweepSize()
+	var renders []string
+	for _, workers := range []int{1, 4} {
+		rep, err := Explore(Options{
+			Master: 3, Scenarios: n, Workers: workers,
+			Gen: GenConfig{MaxCrashes: 2}, Shrink: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		js, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		renders = append(renders, string(js))
+	}
+	if renders[0] != renders[1] {
+		t.Errorf("workers=1 and workers=4 folded different reports:\n%s\n%s", renders[0], renders[1])
+	}
+}
+
+func TestShippedMonitorsHaveNoDivergence(t *testing.T) {
+	// The headline differential claim: across random schedules, crashes and
+	// sources, the shipped monitors never contradict the oracles. Any
+	// failure here is either a monitor bug or an oracle-model bug — both
+	// worth a corpus entry once understood.
+	rep, err := Explore(Options{
+		Master: 1, Scenarios: sweepSize(), Workers: 4,
+		Gen: GenConfig{MaxCrashes: 2}, Replay: !testing.Short(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range rep.Failures {
+		t.Errorf("divergence on shipped monitors: %s %v", f.Spec, f.Divergences)
+	}
+	// The sweep must actually exercise the differential surface.
+	for _, name := range []string{CheckWellFormed, CheckSourcePrefix, CheckOwnSafety, CheckLabelSafety, CheckClass} {
+		if rep.Checks[name] == 0 {
+			t.Errorf("check %s never ran", name)
+		}
+	}
+	if rep.Crashed == 0 {
+		t.Error("no crash scenarios generated")
+	}
+}
+
+func TestGeneratedSpecsRespectConfig(t *testing.T) {
+	cfg := GenConfig{Langs: []string{"WEC_COUNT", "LIN_REG"}, MaxCrashes: 1, MaxSteps: 900}
+	for i := 0; i < 100; i++ {
+		s := NewSpec(5, i, cfg)
+		if s.Lang != "WEC_COUNT" && s.Lang != "LIN_REG" {
+			t.Fatalf("spec %d picked language %s outside the filter", i, s.Lang)
+		}
+		if s.Steps > 900 {
+			t.Fatalf("spec %d has %d steps above the cap", i, s.Steps)
+		}
+		if len(s.Crashes) > 1 {
+			t.Fatalf("spec %d has %d crashes above the cap", i, len(s.Crashes))
+		}
+		if err := s.validate(); err != nil {
+			t.Fatalf("spec %d invalid: %v", i, err)
+		}
+	}
+	if err := (GenConfig{Langs: []string{"NOPE"}}).validate(); err == nil {
+		t.Error("unknown language in config accepted")
+	}
+}
+
+func TestReportChecksAccounting(t *testing.T) {
+	// A crash scenario must skip the label oracles and still run the
+	// structural ones.
+	s, err := ParseSpec("drv1:WEC_COUNT/exact:n=3:seed=9:pol=random:steps=2600:crash=0@400")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Execute(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Divergences) != 0 {
+		t.Fatalf("unexpected divergences: %v", out.Divergences)
+	}
+	ran := strings.Join(out.Ran, ",")
+	for _, want := range []string{CheckWellFormed, CheckSourcePrefix, CheckOwnSafety, CheckCrashQuiet} {
+		if !strings.Contains(ran, want) {
+			t.Errorf("check %s did not run on a crash scenario (ran: %s)", want, ran)
+		}
+	}
+	skipped := strings.Join(out.Skipped, ",")
+	for _, want := range []string{CheckLabelSafety, CheckClass} {
+		if !strings.Contains(skipped, want) {
+			t.Errorf("check %s was not skipped on a crash scenario (skipped: %s)", want, skipped)
+		}
+	}
+}

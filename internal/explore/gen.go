@@ -1,0 +1,152 @@
+package explore
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"github.com/drv-go/drv/internal/lang"
+)
+
+// GenConfig constrains random scenario generation.
+type GenConfig struct {
+	// Langs restricts scenarios to these language names; empty means all
+	// seven Table 1 languages.
+	Langs []string
+	// MaxCrashes bounds the crash count per scenario (further capped at
+	// n−1: the paper's fault model keeps at least one process alive).
+	MaxCrashes int
+	// MaxSteps caps the scheduler step bound a scenario may draw (0 = the
+	// per-family defaults only).
+	MaxSteps int
+	// CrashProb is the probability a scenario has any crashes at all
+	// (default 0.5 when MaxCrashes > 0). Crash-free scenarios carry the
+	// label-based differential checks, so the generator keeps both kinds in
+	// the mix.
+	CrashProb float64
+}
+
+// validate checks the config against the known language set.
+func (g GenConfig) validate() error {
+	for _, name := range g.Langs {
+		if _, err := langByName(name); err != nil {
+			return err
+		}
+	}
+	if g.MaxCrashes < 0 {
+		return fmt.Errorf("explore: negative MaxCrashes %d", g.MaxCrashes)
+	}
+	return nil
+}
+
+func langByName(name string) (lang.Lang, error) {
+	for _, l := range lang.All() {
+		if l.Name == name {
+			return l, nil
+		}
+	}
+	return lang.Lang{}, fmt.Errorf("explore: unknown language %q", name)
+}
+
+// stepRange returns the scheduler-step bounds scenarios of the family draw
+// from. The floors keep the finite-run proxies meaningful (a weak decider
+// needs to get past the sources' transient phases before its verdict tail is
+// judged); the ceilings keep 500-scenario sweeps interactive — the predictive
+// monitors re-check a growing history every round, the sequential-consistency
+// ones with an exponential-time witness search.
+func stepRange(fam family, langName string) (lo, hi int) {
+	switch fam {
+	case famWEC:
+		return 2500, 6000
+	case famSEC:
+		return 2000, 3600
+	case famECLed:
+		return 500, 1500
+	default:
+		switch langName {
+		case "LIN_REG", "LIN_LED":
+			return 400, 1200
+		default: // SC_REG, SC_LED: exponential witness search, shortest runs
+			return 300, 700
+		}
+	}
+}
+
+// NewSpec derives scenario index of the master seed under the config. The
+// same (master, index, cfg) triple always yields the same spec, and distinct
+// indices draw from independent random streams, so a sweep's scenario list
+// does not depend on worker count or on how many scenarios run.
+func NewSpec(master int64, index int, cfg GenConfig) Spec {
+	rng := rand.New(rand.NewSource(mix(master, int64(index))))
+	names := cfg.Langs
+	if len(names) == 0 {
+		for _, l := range lang.All() {
+			names = append(names, l.Name)
+		}
+	}
+	name := names[rng.Intn(len(names))]
+	l, err := langByName(name)
+	if err != nil {
+		panic(err) // cfg was validated
+	}
+
+	s := Spec{
+		Lang: name,
+		N:    2 + rng.Intn(3), // 2..4 processes
+		Seed: rng.Int63(),
+	}
+	sources := l.Sources(s.N, s.Seed)
+	s.Source = sources[rng.Intn(len(sources))].Name
+
+	switch rng.Intn(4) {
+	case 0:
+		s.Policy = PolRandom
+	case 1:
+		s.Policy = PolBursty
+	case 2:
+		s.Policy = PolCursor
+	default:
+		s.Policy = PolBiased
+		// Generate the bias in the exact form the "%.2f" spec encoding
+		// parses back to, so a spec round-trips bit-identically and a
+		// replayed scenario draws the same schedule.
+		s.Bias = float64(30+5*rng.Intn(11)) / 100 // 0.30..0.80
+	}
+
+	lo, hi := stepRange(famOf(name), name)
+	s.Steps = lo + rng.Intn(hi-lo+1)
+	if cfg.MaxSteps > 0 && s.Steps > cfg.MaxSteps {
+		s.Steps = cfg.MaxSteps
+	}
+
+	maxCrashes := cfg.MaxCrashes
+	if maxCrashes > s.N-1 {
+		maxCrashes = s.N - 1
+	}
+	crashProb := cfg.CrashProb
+	if crashProb == 0 {
+		crashProb = 0.5
+	}
+	if maxCrashes > 0 && s.Steps > 1 && rng.Float64() < crashProb {
+		k := 1 + rng.Intn(maxCrashes)
+		procs := rng.Perm(s.N)[:k]
+		for _, p := range procs {
+			// The runner consults the crash schedule at steps 0..Steps−1,
+			// so a crash at step Steps would never fire.
+			s.Crashes = append(s.Crashes, Crash{Step: 1 + rng.Intn(s.Steps-1), Proc: p})
+		}
+		sortCrashes(s.Crashes)
+	}
+	return s
+}
+
+// sortCrashes orders the schedule by step then process, the canonical order
+// used by the spec encoding.
+func sortCrashes(cs []Crash) {
+	sort.Slice(cs, func(i, j int) bool {
+		if cs[i].Step != cs[j].Step {
+			return cs[i].Step < cs[j].Step
+		}
+		return cs[i].Proc < cs[j].Proc
+	})
+}

@@ -1,0 +1,123 @@
+package explore
+
+// The minimizing replay: a divergent spec is shrunk to a small reproducer
+// before being reported, so a failure reads as "these 15 scheduler steps
+// with this seed break the monitor" instead of a 5000-step execution dump.
+// Shrinking only ever re-executes candidate specs through the same Runner
+// and keeps a candidate exactly when it still diverges, so the reproducer is
+// trustworthy by construction; it need not fail the same check as the
+// original (a smaller execution may surface the root divergence more
+// directly, e.g. a per-verdict oracle instead of a tail proxy).
+
+// defaultShrinkBudget bounds candidate executions per shrink.
+const defaultShrinkBudget = 200
+
+// ShrinkSpec minimizes the divergent spec along three axes, in order:
+// fewer crashes, fewer processes, fewer scheduler steps. It returns the
+// smallest divergent spec found together with its divergences; when the
+// original spec itself no longer diverges (a nondeterministic monitor — in
+// itself a finding the replay check reports), the returned divergence list
+// is empty.
+func ShrinkSpec(s Spec, r Runner, budget int) (Spec, []Divergence) {
+	if budget <= 0 {
+		budget = defaultShrinkBudget
+	}
+	var last []Divergence
+	diverges := func(cand Spec) bool {
+		if budget <= 0 {
+			return false
+		}
+		budget--
+		out, err := r.Execute(cand)
+		if err != nil || len(out.Divergences) == 0 {
+			return false
+		}
+		last = out.Divergences
+		return true
+	}
+	if !diverges(s) {
+		return s, nil
+	}
+	best := s
+
+	// Axis 1: crashes. Try none at all, then dropping one at a time.
+	if len(best.Crashes) > 0 {
+		if cand := best; diverges(withCrashes(cand, nil)) {
+			best.Crashes = nil
+		}
+	}
+	for i := 0; i < len(best.Crashes); {
+		cs := make([]Crash, 0, len(best.Crashes)-1)
+		cs = append(cs, best.Crashes[:i]...)
+		cs = append(cs, best.Crashes[i+1:]...)
+		if diverges(withCrashes(best, cs)) {
+			best.Crashes = cs
+		} else {
+			i++
+		}
+	}
+
+	// Axis 2: processes. Crash schedules naming dropped processes are
+	// discarded first — a reproducer with fewer processes beats one with
+	// more crashes.
+	for n := best.N - 1; n >= 1; n-- {
+		cand := best
+		cand.N = n
+		cand.Crashes = nil
+		for _, c := range best.Crashes {
+			if c.Proc < n {
+				cand.Crashes = append(cand.Crashes, c)
+			}
+		}
+		if !diverges(cand) {
+			break
+		}
+		best = cand
+	}
+
+	// Axis 3: steps. Halve while the divergence survives, bisect the gap
+	// left by the failed halving (log₂ executions instead of one per step),
+	// then a short linear pass mops up non-monotone tails.
+	atSteps := func(steps int) Spec {
+		cand := best
+		cand.Steps = steps
+		cand.Crashes = clampCrashes(best.Crashes, steps)
+		return cand
+	}
+	for best.Steps > 1 && diverges(atSteps(best.Steps/2)) {
+		best = atSteps(best.Steps / 2)
+	}
+	lo, hi := best.Steps/2, best.Steps // lo failed (or is 0), hi diverges
+	for hi-lo > 1 {
+		mid := lo + (hi-lo)/2
+		if diverges(atSteps(mid)) {
+			best, hi = atSteps(mid), mid
+		} else {
+			lo = mid
+		}
+	}
+	for best.Steps > 1 && diverges(atSteps(best.Steps-1)) {
+		best = atSteps(best.Steps - 1)
+	}
+
+	// Every successful diverges call installed its candidate as best, so
+	// last always holds best's divergences.
+	return best, last
+}
+
+func withCrashes(s Spec, cs []Crash) Spec {
+	s.Crashes = cs
+	return s
+}
+
+// clampCrashes keeps crashes that can still fire inside the step bound
+// (the runner checks the schedule at steps 0..steps−1).
+func clampCrashes(cs []Crash, steps int) []Crash {
+	var out []Crash
+	for _, c := range cs {
+		if c.Step < steps {
+			out = append(out, c)
+		}
+	}
+	return out
+}

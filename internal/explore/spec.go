@@ -1,0 +1,180 @@
+package explore
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// specVersion tags the seed-spec wire format; bump when the encoding or the
+// scenario semantics change incompatibly, so stale corpora fail loudly
+// instead of replaying a different execution.
+const specVersion = "drv1"
+
+// Policy kinds a scenario can schedule under. All are seeded from the spec;
+// see Spec.policy.
+const (
+	// PolBiased is sched.Biased toward the adversary cursor.
+	PolBiased = "biased"
+	// PolRandom is sched.Random, uniform over runnable actors.
+	PolRandom = "random"
+	// PolBursty is sched.Bursty: geometric bursts of one actor.
+	PolBursty = "bursty"
+	// PolCursor is sched.Prioritize(cursor) over a random fallback: the
+	// most synchronous schedule, the Claim 3.1 shape.
+	PolCursor = "cursor"
+)
+
+// Crash schedules one process crash: at scheduler step Step, process Proc
+// stops being scheduled and its remaining events drop out of the exhibited
+// word.
+type Crash struct {
+	Step int `json:"step"`
+	Proc int `json:"proc"`
+}
+
+// Spec fully determines one scenario: the language and labelled source under
+// inspection, the process count, the scheduling policy and its seed, the
+// step bound, and the crash schedule. Specs serialize to a one-line string
+// (String/ParseSpec) used as the replay and corpus format.
+type Spec struct {
+	// Lang is the Table 1 language name (e.g. "WEC_COUNT").
+	Lang string `json:"lang"`
+	// Source is the labelled source name within the language (e.g. "exact").
+	Source string `json:"source"`
+	// N is the monitor process count.
+	N int `json:"n"`
+	// Seed drives the source generators and (via an independent stream) the
+	// scheduling policy.
+	Seed int64 `json:"seed"`
+	// Policy is one of the Pol* kinds.
+	Policy string `json:"policy"`
+	// Bias is the cursor bias for PolBiased (ignored otherwise).
+	Bias float64 `json:"bias,omitempty"`
+	// Steps bounds the scheduler.
+	Steps int `json:"steps"`
+	// Crashes is the crash schedule, in increasing step order.
+	Crashes []Crash `json:"crashes,omitempty"`
+}
+
+// String renders the one-line seed spec, e.g.
+//
+//	drv1:WEC_COUNT/exact:n=3:seed=42:pol=biased/0.50:steps=2400:crash=1@120,0@300
+func (s Spec) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s:%s/%s:n=%d:seed=%d:pol=%s", specVersion, s.Lang, s.Source, s.N, s.Seed, s.Policy)
+	if s.Policy == PolBiased {
+		fmt.Fprintf(&b, "/%.2f", s.Bias)
+	}
+	fmt.Fprintf(&b, ":steps=%d", s.Steps)
+	if len(s.Crashes) > 0 {
+		b.WriteString(":crash=")
+		for i, c := range s.Crashes {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%d@%d", c.Proc, c.Step)
+		}
+	}
+	return b.String()
+}
+
+// ParseSpec parses the String encoding back into a Spec.
+func ParseSpec(in string) (Spec, error) {
+	var s Spec
+	fields := strings.Split(strings.TrimSpace(in), ":")
+	if len(fields) < 2 || fields[0] != specVersion {
+		return s, fmt.Errorf("explore: spec %q does not start with %q", in, specVersion)
+	}
+	langSrc := strings.SplitN(fields[1], "/", 2)
+	if len(langSrc) != 2 || langSrc[0] == "" || langSrc[1] == "" {
+		return s, fmt.Errorf("explore: spec %q lacks a lang/source field", in)
+	}
+	s.Lang, s.Source = langSrc[0], langSrc[1]
+	for _, f := range fields[2:] {
+		kv := strings.SplitN(f, "=", 2)
+		if len(kv) != 2 {
+			return s, fmt.Errorf("explore: malformed spec field %q", f)
+		}
+		var err error
+		switch kv[0] {
+		case "n":
+			s.N, err = strconv.Atoi(kv[1])
+		case "seed":
+			s.Seed, err = strconv.ParseInt(kv[1], 10, 64)
+		case "pol":
+			pol := strings.SplitN(kv[1], "/", 2)
+			s.Policy = pol[0]
+			if len(pol) == 2 {
+				s.Bias, err = strconv.ParseFloat(pol[1], 64)
+			}
+		case "steps":
+			s.Steps, err = strconv.Atoi(kv[1])
+		case "crash":
+			for _, part := range strings.Split(kv[1], ",") {
+				var c Crash
+				// Sscanf stops at trailing garbage without erroring;
+				// re-render and compare so a mis-pasted spec is rejected
+				// instead of silently replaying a different execution.
+				if _, err = fmt.Sscanf(part, "%d@%d", &c.Proc, &c.Step); err != nil ||
+					fmt.Sprintf("%d@%d", c.Proc, c.Step) != part {
+					return s, fmt.Errorf("explore: malformed crash %q", part)
+				}
+				s.Crashes = append(s.Crashes, c)
+			}
+		default:
+			err = fmt.Errorf("unknown key %q", kv[0])
+		}
+		if err != nil {
+			return s, fmt.Errorf("explore: spec field %q: %w", f, err)
+		}
+	}
+	return s, s.validate()
+}
+
+// validate rejects specs that cannot execute.
+func (s Spec) validate() error {
+	switch {
+	case s.N < 1:
+		return fmt.Errorf("explore: spec needs n ≥ 1, got %d", s.N)
+	case s.Steps < 1:
+		return fmt.Errorf("explore: spec needs steps ≥ 1, got %d", s.Steps)
+	case s.Policy != PolBiased && s.Policy != PolRandom && s.Policy != PolBursty && s.Policy != PolCursor:
+		return fmt.Errorf("explore: unknown policy %q", s.Policy)
+	case s.Policy != PolBiased && s.Bias != 0:
+		return fmt.Errorf("explore: policy %q does not take a bias", s.Policy)
+	}
+	if s.Policy == PolBiased {
+		// The encoding renders the bias as %.2f; a bias that does not
+		// round-trip through it would make String() describe a different
+		// scenario than the one executed.
+		if s.Bias < 0 || s.Bias > 1 {
+			return fmt.Errorf("explore: bias %v outside [0,1]", s.Bias)
+		}
+		if r, err := strconv.ParseFloat(fmt.Sprintf("%.2f", s.Bias), 64); err != nil || r != s.Bias {
+			return fmt.Errorf("explore: bias %v does not round-trip through the %%.2f spec encoding", s.Bias)
+		}
+	}
+	for _, c := range s.Crashes {
+		if c.Proc < 0 || c.Proc >= s.N {
+			return fmt.Errorf("explore: crash names process %d of %d", c.Proc, s.N)
+		}
+		// The runner consults the crash schedule at steps 0..Steps−1; a
+		// crash at step ≥ Steps would never fire yet still demote the
+		// scenario to the weaker crash-run oracle set.
+		if c.Step < 1 || c.Step >= s.Steps {
+			return fmt.Errorf("explore: crash step %d outside [1,%d]", c.Step, s.Steps-1)
+		}
+	}
+	return nil
+}
+
+// mix derives an independent 64-bit stream from two seeds via one splitmix64
+// round — the scenario-index and policy sub-seeds must not correlate with
+// the raw master seed handed to the source generators.
+func mix(a, b int64) int64 {
+	z := uint64(a) + 0x9E3779B97F4A7C15*uint64(b+1)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}

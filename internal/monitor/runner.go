@@ -55,6 +55,12 @@ type Result struct {
 	// PulledAt records how many source symbols the adversary had consumed
 	// when each verdict was reported (0 when the service does not track it).
 	PulledAt [][]int
+	// HistAt records the length of the exhibited history x(E) when each
+	// verdict was reported, aligned with Verdicts (0 when the service does
+	// not expose HistLen). History[:HistAt[p][k]] is exactly the input-word
+	// prefix process p's k-th verdict judges — the comparison surface that
+	// lets offline oracles be evaluated verdict by verdict.
+	HistAt [][]int
 	// Steps is the number of scheduler steps taken.
 	Steps int
 }
@@ -116,8 +122,10 @@ func Run(cfg Config) *Result {
 		Invs:      make([][]word.Symbol, cfg.N),
 		StepAt:    make([][]int, cfg.N),
 		PulledAt:  make([][]int, cfg.N),
+		HistAt:    make([][]int, cfg.N),
 	}
 	pulled, _ := svc.(interface{ Pulled() int })
+	histLen, _ := svc.(interface{ HistLen() int })
 	for i := 0; i < cfg.N; i++ {
 		i := i
 		logic := logics[i]
@@ -144,6 +152,11 @@ func Run(cfg Config) *Result {
 					src = pulled.Pulled()
 				}
 				res.PulledAt[i] = append(res.PulledAt[i], src)
+				hl := 0
+				if histLen != nil {
+					hl = histLen.HistLen()
+				}
+				res.HistAt[i] = append(res.HistAt[i], hl)
 			}
 		})
 	}

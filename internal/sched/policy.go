@@ -78,6 +78,35 @@ func (p *biasedPolicy) Next(runnable []int, _ int) int {
 	return runnable[p.rng.Intn(len(runnable))]
 }
 
+// PolicyFunc adapts a plain function to the Policy interface, the hook that
+// lets scenario explorers plug in custom randomized policies without a new
+// named type per experiment.
+type PolicyFunc func(runnable []int, step int) int
+
+// Next implements Policy.
+func (f PolicyFunc) Next(runnable []int, step int) int { return f(runnable, step) }
+
+// Bursty returns a seeded policy that sticks with one actor for a geometric
+// burst (mean length mean ≥ 1) before picking a new one uniformly at random.
+// Bursts produce the heavily skewed interleavings — one process racing far
+// ahead while the others are frozen — that uniform choice almost never
+// samples, yet remain fair with probability one since every actor is
+// re-drawn infinitely often.
+func Bursty(seed int64, mean int) Policy {
+	if mean < 1 {
+		mean = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	cur := -1
+	return PolicyFunc(func(runnable []int, _ int) int {
+		if cur >= 0 && contains(runnable, cur) && rng.Float64() < 1-1/float64(mean) {
+			return cur
+		}
+		cur = runnable[rng.Intn(len(runnable))]
+		return cur
+	})
+}
+
 // Script returns a policy that follows an explicit actor sequence and then
 // delegates to fallback. The proof constructions (Lemma 5.1's executions E
 // and F, Claim 3.1's sequential execution) are scripts: each entry must be

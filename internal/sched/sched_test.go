@@ -268,3 +268,90 @@ func TestStopIsIdempotentAndReleasesGoroutines(t *testing.T) {
 	rt.Stop()
 	rt.Stop() // second call must be a no-op
 }
+
+func TestPolicyFunc(t *testing.T) {
+	// PolicyFunc adapts a closure; here a worst-fit policy: always the
+	// highest runnable ID.
+	rt := New(2, PolicyFunc(func(runnable []int, _ int) int {
+		return runnable[len(runnable)-1]
+	}))
+	got := []int{}
+	for i := 0; i < 2; i++ {
+		i := i
+		rt.Spawn(i, func(p *Proc) {
+			for {
+				got = append(got, i)
+				p.Pause()
+			}
+		})
+	}
+	defer rt.Stop()
+	rt.Run(6)
+	for _, id := range got {
+		if id != 1 {
+			t.Fatalf("highest-ID policy scheduled process %d (order %v)", id, got)
+		}
+	}
+}
+
+func TestBurstyPolicySticksAndIsFair(t *testing.T) {
+	// Bursts: consecutive grants go to the same actor far more often than
+	// uniform choice would, yet every actor still runs.
+	rt := New(3, Bursty(7, 8))
+	last, repeats, total := -1, 0, 0
+	steps := make([]int, 3)
+	for i := 0; i < 3; i++ {
+		i := i
+		rt.Spawn(i, func(p *Proc) {
+			for {
+				steps[i]++
+				if last == i {
+					repeats++
+				}
+				last = i
+				total++
+				p.Pause()
+			}
+		})
+	}
+	defer rt.Stop()
+	rt.Run(3000)
+	for i, s := range steps {
+		if s == 0 {
+			t.Errorf("process %d starved under Bursty", i)
+		}
+	}
+	// Uniform choice over 3 runnable actors repeats ~1/3 of the time; mean-8
+	// bursts must repeat far more often.
+	if repeats*2 < total {
+		t.Errorf("Bursty(mean 8) repeated only %d of %d grants", repeats, total)
+	}
+}
+
+func TestBurstyDeterministicPerSeed(t *testing.T) {
+	run := func() []int {
+		rt := New(2, Bursty(42, 4))
+		var order []int
+		for i := 0; i < 2; i++ {
+			i := i
+			rt.Spawn(i, func(p *Proc) {
+				for {
+					order = append(order, i)
+					p.Pause()
+				}
+			})
+		}
+		defer rt.Stop()
+		rt.Run(200)
+		return order
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("different schedule lengths %d and %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedules diverge at step %d", i)
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/drv-go/drv/internal/word"
+)
+
+// FuzzTraceEncodeDecode round-trips the on-disk trace format in both
+// directions. Structured direction: fuzz bytes build a word whose symbols
+// must survive Encode/Decode exactly. Parser direction: the bytes are fed to
+// Read as a hostile trace file; whatever parses must re-encode to a stream
+// that parses to the same trace (decode ∘ encode = id on the parser's
+// image), and the parser must never panic or accept symbols it cannot
+// re-encode.
+func FuzzTraceEncodeDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add([]byte(`{"kind":"meta","meta":{"n":2,"lang":"WEC_COUNT"}}` + "\n" +
+		`{"kind":"sym","proc":0,"sym":"inv","op":"inc","val":{"t":"unit"}}` + "\n" +
+		`{"kind":"sym","proc":0,"sym":"res","op":"inc","val":{"t":"unit"}}` + "\n" +
+		`{"kind":"verdict","proc":0,"verdict":"YES","step":7}`))
+	f.Add([]byte(`{"kind":"sym","proc":1,"sym":"res","op":"get","val":{"t":"seq","seq":["a","b"]}}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fuzzStructured(t, data)
+		fuzzParser(t, data)
+	})
+}
+
+// fuzzStructured builds symbols from the bytes and round-trips each through
+// the event encoding.
+func fuzzStructured(t *testing.T, data []byte) {
+	var w word.Word
+	for i := 0; i+1 < len(data) && len(w) < 32; i += 2 {
+		a, b := data[i], data[i+1]
+		proc := int(a % 4)
+		var val word.Value
+		switch b % 4 {
+		case 0:
+			val = word.Unit{}
+		case 1:
+			val = word.Int(int64(a) - 128)
+		case 2:
+			val = word.Rec(strings.Repeat("r", int(a%5)+1))
+		default:
+			val = word.Seq{"x", word.Rec([]byte{'a' + a%3}), "z"}[:a%4]
+		}
+		if a%2 == 0 {
+			w = append(w, word.NewInv(proc, "op", val))
+		} else {
+			w = append(w, word.NewRes(proc, "op", val))
+		}
+	}
+	for _, sym := range w {
+		ev, err := EncodeSymbol(sym)
+		if err != nil {
+			t.Fatalf("cannot encode %v: %v", sym, err)
+		}
+		back, err := DecodeSymbol(ev)
+		if err != nil {
+			t.Fatalf("cannot decode %v: %v", ev, err)
+		}
+		if !back.Equal(sym) {
+			t.Fatalf("round trip changed %v into %v", sym, back)
+		}
+	}
+}
+
+// fuzzParser feeds raw bytes to the trace reader and closes the loop on
+// whatever it accepts.
+func fuzzParser(t *testing.T, data []byte) {
+	tr, err := Read(bytes.NewReader(data))
+	if err != nil {
+		return // hostile input rejected: fine
+	}
+	var buf bytes.Buffer
+	wr := NewWriter(&buf)
+	if err := wr.WriteMeta(tr.Meta); err != nil {
+		t.Fatalf("re-encoding meta: %v", err)
+	}
+	if err := wr.WriteWord(tr.Word); err != nil {
+		t.Fatalf("re-encoding accepted word: %v", err)
+	}
+	for proc, vs := range tr.Verdicts {
+		for k, v := range vs {
+			if err := wr.WriteVerdict(proc, v, tr.Steps[proc][k]); err != nil {
+				t.Fatalf("re-encoding verdict: %v", err)
+			}
+		}
+	}
+	if err := wr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("re-encoded trace does not parse: %v", err)
+	}
+	if back.Meta.N != tr.Meta.N || back.Meta.Lang != tr.Meta.Lang ||
+		back.Meta.Seed != tr.Meta.Seed || back.Meta.Note != tr.Meta.Note {
+		t.Fatalf("meta changed: %+v vs %+v", tr.Meta, back.Meta)
+	}
+	switch {
+	case (back.Meta.Member == nil) != (tr.Meta.Member == nil):
+		t.Fatalf("meta Member presence changed: %+v vs %+v", tr.Meta, back.Meta)
+	case back.Meta.Member != nil && *back.Meta.Member != *tr.Meta.Member:
+		t.Fatalf("meta Member value changed: %v vs %v", *tr.Meta.Member, *back.Meta.Member)
+	}
+	if !back.Word.Equal(tr.Word) {
+		t.Fatalf("word changed:\n%v\nvs\n%v", tr.Word, back.Word)
+	}
+	if len(back.Verdicts) != len(tr.Verdicts) {
+		t.Fatalf("verdict process sets differ: %v vs %v", tr.Verdicts, back.Verdicts)
+	}
+	for proc, vs := range tr.Verdicts {
+		if len(back.Verdicts[proc]) != len(vs) {
+			t.Fatalf("process %d verdict counts differ", proc)
+		}
+		for k := range vs {
+			if back.Verdicts[proc][k] != vs[k] || back.Steps[proc][k] != tr.Steps[proc][k] {
+				t.Fatalf("process %d verdict %d changed", proc, k)
+			}
+		}
+	}
+}

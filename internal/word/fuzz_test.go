@@ -1,0 +1,131 @@
+package word
+
+import (
+	"bytes"
+	"testing"
+)
+
+// wordFromBytes deterministically builds a well-formed word from fuzz input:
+// each byte picks a process and either opens its next operation or closes
+// the pending one, so per-process alternation holds by construction. The
+// word length is capped — InShuffle's membership search is exponential in
+// the worst case, and the properties under test do not need long words.
+func wordFromBytes(data []byte, n int) Word {
+	const maxSymbols = 40
+	ops := []string{"read", "write", "inc"}
+	pending := make([]string, n)
+	var w Word
+	for _, b := range data {
+		if len(w) >= maxSymbols {
+			break
+		}
+		p := int(b) % n
+		if pending[p] == "" {
+			op := ops[int(b>>3)%len(ops)]
+			w = append(w, NewInv(p, op, Int(int64(b>>5))))
+			pending[p] = op
+		} else {
+			w = append(w, NewRes(p, pending[p], Int(int64(b>>4))))
+			pending[p] = ""
+		}
+	}
+	return w
+}
+
+// FuzzWordProjectionRoundTrip checks the projection/shuffle round trip that
+// the real-time obliviousness machinery (Definition 5.3) relies on: a
+// well-formed word is an interleaving of its per-process projections, the
+// projections partition its symbols exactly, and every operation-level
+// helper agrees with the symbol-level view.
+func FuzzWordProjectionRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 1, 1, 2, 2})
+	f.Add([]byte{7, 7, 13, 13, 7, 13, 255, 0, 128, 3})
+	f.Add([]byte("interleaving of projections"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		n := 3
+		w := wordFromBytes(data, n)
+		if err := WellFormed(w); err != nil {
+			t.Fatalf("builder produced an ill-formed word: %v", err)
+		}
+
+		parts := ProcParts(w, n)
+		total := 0
+		for p, part := range parts {
+			total += len(part)
+			if err := WellFormed(part); err != nil {
+				t.Errorf("projection %d ill-formed: %v", p, err)
+			}
+			for _, s := range part {
+				if s.Proc != p {
+					t.Errorf("projection %d contains symbol of process %d", p, s.Proc)
+				}
+			}
+		}
+		if total != len(w) {
+			t.Errorf("projections have %d symbols, word has %d", total, len(w))
+		}
+
+		// The round trip: the word is a member of the shuffle of its own
+		// projections.
+		if !InShuffle(w, parts) {
+			t.Errorf("word %v not in the shuffle of its projections", w)
+		}
+
+		// Operation extraction agrees with the symbol-level view.
+		ops := Operations(w)
+		complete, pendingOps := 0, 0
+		for _, o := range ops {
+			if o.Pending() {
+				pendingOps++
+			} else {
+				complete++
+				if !w[o.Inv].Equal(NewInv(o.ID.Proc, o.Op, o.Arg)) {
+					t.Errorf("operation %v does not point at its invocation", o)
+				}
+				if w[o.Res].Proc != o.ID.Proc || w[o.Res].Kind != Res {
+					t.Errorf("operation %v does not point at a response of its process", o)
+				}
+			}
+		}
+		if got := len(Complete(w)); got != complete {
+			t.Errorf("Complete returned %d operations, want %d", got, complete)
+		}
+		if got := len(PendingOps(w)); got != pendingOps {
+			t.Errorf("PendingOps returned %d operations, want %d", got, pendingOps)
+		}
+
+		// Truncating pending invocations leaves a well-formed word of only
+		// complete operations.
+		tc := TruncateComplete(w)
+		if err := WellFormed(tc); err != nil {
+			t.Errorf("TruncateComplete ill-formed: %v", err)
+		}
+		if len(PendingOps(tc)) != 0 {
+			t.Errorf("TruncateComplete left pending operations in %v", tc)
+		}
+	})
+}
+
+// FuzzWordStringStable checks that rendering is deterministic and that Clone
+// produces an equal, independent word — cheap invariants the trace tooling
+// leans on.
+func FuzzWordStringStable(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		w := wordFromBytes(data, 3)
+		c := w.Clone()
+		if !w.Equal(c) {
+			t.Fatal("clone not equal to original")
+		}
+		if !bytes.Equal([]byte(w.String()), []byte(c.String())) {
+			t.Fatal("rendering differs between equal words")
+		}
+		if len(c) > 0 {
+			c[0] = NewInv((c[0].Proc+1)%3, "write", Int(99))
+			if w.Equal(c) && len(w) > 0 {
+				t.Fatal("mutating the clone changed the original")
+			}
+		}
+	})
+}
