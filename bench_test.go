@@ -364,6 +364,107 @@ func BenchmarkLemma65_Alternation(b *testing.B) {
 	}
 }
 
+// ------------------------------------------------------------ execution core
+
+// schedRates accumulates the BenchmarkSchedStep / BenchmarkMonitorRun
+// measurements; when BENCH_SCHED_OUT is set, whichever benchmark finishes
+// last flushes the accumulated baseline (see BENCH_sched.json). Regenerate
+// with:
+//
+//	BENCH_SCHED_OUT=BENCH_sched.json go test -run '^$' \
+//	  -bench 'BenchmarkSchedStep|BenchmarkMonitorRun' -benchtime 1000x .
+var schedRates = map[string]float64{}
+
+func flushSchedBaseline(b *testing.B) {
+	out := os.Getenv("BENCH_SCHED_OUT")
+	if out == "" {
+		return
+	}
+	baseline := struct {
+		Note    string             `json:"note"`
+		NumCPU  int                `json:"num_cpu"`
+		NsPerOp map[string]float64 `json:"ns_per_op"`
+	}{
+		Note:    "execution-core baseline; regenerate with: BENCH_SCHED_OUT=BENCH_sched.json go test -run '^$' -bench 'BenchmarkSchedStep|BenchmarkMonitorRun' -benchtime 1000x .",
+		NumCPU:  runtime.NumCPU(),
+		NsPerOp: schedRates,
+	}
+	js, err := json.MarshalIndent(baseline, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(js, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkSchedStep measures the steady-state scheduler step: n parked
+// processes plus one aux actor, one Step per iteration. The loop is
+// zero-alloc (asserted by sched's TestStepZeroAlloc; ReportAllocs shows it).
+func BenchmarkSchedStep(b *testing.B) {
+	for _, n := range []int{2, benchProcs, 8} {
+		b.Run(fmt.Sprintf("n-%d", n), func(b *testing.B) {
+			rt := sched.New(n, sched.RoundRobin())
+			defer rt.Stop()
+			rt.AddAux("aux", func() bool { return true }, func() {})
+			for i := 0; i < n; i++ {
+				rt.Spawn(i, func(p *sched.Proc) {
+					for {
+						p.Pause()
+					}
+				})
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rt.Step()
+			}
+			schedRates[fmt.Sprintf("sched-step/n-%d", n)] = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+		})
+	}
+	flushSchedBaseline(b)
+}
+
+// BenchmarkMonitorRun measures one whole monitored execution per iteration —
+// the per-execution setup the explorer pays thousands of times per sweep —
+// on the one-shot path (fresh runtime and buffers every run) versus a pooled
+// session (Reset + buffer reuse).
+func BenchmarkMonitorRun(b *testing.B) {
+	const steps = 400
+	cfg := func() monitor.Config {
+		src := lang.WECCount().Sources(benchProcs, 1)[0]
+		adv := adversary.NewA(benchProcs, src.New())
+		return monitor.Config{
+			N:       benchProcs,
+			Monitor: monitor.Constant(monitor.Yes),
+			NewService: func(rt *sched.Runtime) (adversary.Service, []int) {
+				return adv, []int{adv.Register(rt)}
+			},
+			Policy: func(aux []int) sched.Policy {
+				return sched.Biased(1, aux[0], 0.5)
+			},
+			MaxSteps: steps,
+		}
+	}
+	b.Run("fresh", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			monitor.Run(cfg())
+		}
+		schedRates["monitor-run/fresh"] = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	})
+	b.Run("pooled", func(b *testing.B) {
+		s := monitor.NewSession()
+		defer s.Close()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s.Run(cfg())
+		}
+		schedRates["monitor-run/pooled"] = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	})
+	flushSchedBaseline(b)
+}
+
 // ---------------------------------------------------------------- explorer
 
 // benchExploreScenarios sizes the benchmark sweep: large enough that the

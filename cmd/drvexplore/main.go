@@ -11,8 +11,8 @@
 // Usage:
 //
 //	drvexplore [-seeds k] [-master m] [-j workers] [-lang L1,L2] [-crashes c]
-//	           [-max-steps s] [-replay-check] [-no-shrink] [-progress]
-//	           [-out seeds.json]
+//	           [-max-steps s] [-pool] [-replay-check] [-no-shrink] [-progress]
+//	           [-out seeds.json] [-cpuprofile f]
 //	drvexplore -replay "drv1:WEC_COUNT/exact:n=3:seed=7:pol=random:steps=2600"
 package main
 
@@ -24,6 +24,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"github.com/drv-go/drv/internal/explore"
@@ -49,6 +50,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	progress := fs.Bool("progress", false, "stream per-scenario completion to stderr")
 	out := fs.String("out", "", "write the JSON report to this file")
 	replay := fs.String("replay", "", "replay a single seed spec and print its outcome (ignores sweep flags)")
+	pool := fs.Bool("pool", true, "reuse one pooled runtime+session per worker (output is byte-identical either way)")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
@@ -60,6 +63,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return replayOne(*replay, stdout, stderr)
 	}
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(stderr, "drvexplore: cpuprofile: %v\n", err)
+			return 2
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(stderr, "drvexplore: cpuprofile: %v\n", err)
+			return 2
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	opts := explore.Options{
 		Master:    *master,
 		Scenarios: *seeds,
@@ -67,6 +84,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Gen:       explore.GenConfig{MaxCrashes: *crashes, MaxSteps: *maxSteps},
 		Replay:    *replayCheck,
 		Shrink:    !*noShrink,
+		Unpooled:  !*pool,
 	}
 	if *langs != "" {
 		opts.Gen.Langs = strings.Split(*langs, ",")

@@ -64,6 +64,42 @@ func TestOutputDeterministicAcrossWorkers(t *testing.T) {
 	}
 }
 
+func TestPooledOutputByteIdentical(t *testing.T) {
+	// -pool is a pure optimization: the report, the -out file and the
+	// stdout summary must be byte-identical with pooling on and off.
+	dir := t.TempDir()
+	var files, outs []string
+	for _, cfg := range [][]string{
+		{"-j", "2", "-pool=true"},
+		{"-j", "2", "-pool=false"},
+		{"-j", "1", "-pool=false"},
+	} {
+		f := filepath.Join(dir, "seeds"+strings.Join(cfg, "")+".json")
+		code, out, errOut := runExplore(t, append(cfg, "-out", f)...)
+		if code != 0 {
+			t.Fatalf("%v: exit %d, stderr:\n%s", cfg, code, errOut)
+		}
+		files = append(files, f)
+		outs = append(outs, out)
+	}
+	first, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(files); i++ {
+		js, err := os.ReadFile(files[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first, js) {
+			t.Errorf("report %d differs from pooled report:\n%s\nvs\n%s", i, js, first)
+		}
+		if outs[i] != outs[0] {
+			t.Errorf("stdout %d differs from pooled stdout", i)
+		}
+	}
+}
+
 func TestLangFilter(t *testing.T) {
 	dir := t.TempDir()
 	f := filepath.Join(dir, "seeds.json")

@@ -33,7 +33,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	n := fs.Int("n", 3, "process count (Figure 7 uses 3)")
 	seed := fs.Int64("seed", 1, "schedule seed")
-	steps := fs.Int("steps", 600, "scheduler step bound")
+	steps := fs.Int("steps", 600, "scheduler step bound (0 = monitor.DefaultMaxSteps)")
 	source := fs.String("source", "", "register behaviour source (default: first; see drvtrace -list -lang LIN_REG)")
 	kindName := fs.String("kind", "atomic", "announcement array kind: atomic, aadgms or collect")
 	if err := fs.Parse(args); err != nil {

@@ -49,6 +49,29 @@ func TestParallelOutputByteIdentical(t *testing.T) {
 	}
 }
 
+func TestPooledOutputByteIdentical(t *testing.T) {
+	// -pool is a pure optimization: the rendered table (and the golden file)
+	// must be byte-identical with runtime pooling on and off, sequentially
+	// and across worker pools.
+	golden, err := os.ReadFile("testdata/table_small.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, args := range [][]string{
+		{"-j", "1", "-pool=true"},
+		{"-j", "1", "-pool=false"},
+		{"-j", "4", "-pool=false"},
+	} {
+		code, out, errOut := runTable(t, args...)
+		if code != 0 {
+			t.Fatalf("%v: exit %d, stderr:\n%s", args, code, errOut)
+		}
+		if out != string(golden) {
+			t.Errorf("%v output does not match golden file:\n%s\nwant:\n%s", args, out, golden)
+		}
+	}
+}
+
 func TestParallelAlias(t *testing.T) {
 	_, seq, _ := runTable(t, "-j", "1")
 	code, par, _ := runTable(t, "-parallel", "4")

@@ -34,7 +34,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	source := fs.String("source", "", "behaviour source name (default: first source)")
 	n := fs.Int("n", 3, "process count")
 	seed := fs.Int64("seed", 1, "schedule and workload seed")
-	steps := fs.Int("steps", 20_000, "scheduler step bound")
+	steps := fs.Int("steps", 20_000, "scheduler step bound (0 = monitor.DefaultMaxSteps)")
 	out := fs.String("o", "", "output file (default stdout)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {

@@ -50,4 +50,16 @@
 // result folding, so drvtable -j N prints a byte-identical table for every
 // worker count. See README.md for the module setup, the short/full/race
 // test tiers, and parallel usage.
+//
+// All workloads share one pooled execution core. internal/sched.Runtime is
+// resettable (Runtime.Reset reuses Proc structs and parked goroutines; the
+// steady-state Step loop and pooled per-execution setup are zero-alloc),
+// internal/monitor.Session drives the Figure-1 loop on a pooled runtime with
+// reusable pre-sized Result buffers (monitor.Run is the one-shot wrapper),
+// and the experiment engine and the explorer give each worker one
+// runtime+session pair for its whole batch. Pooling is on by default,
+// byte-identical to fresh runtimes (golden-tested), and switchable with
+// -pool=false on drvtable and drvexplore; -cpuprofile profiles either
+// command. BENCH_sched.json and BENCH_explore.json track the core's
+// committed performance baselines.
 package drv

@@ -44,7 +44,10 @@ type A struct {
 	crashed []bool
 }
 
-var _ Service = (*A)(nil)
+var (
+	_ Service = (*A)(nil)
+	_ Stats   = (*A)(nil)
+)
 
 // NewA returns an adversary for n processes exhibiting the source's word.
 func NewA(n int, src Source) *A {

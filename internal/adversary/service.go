@@ -45,6 +45,19 @@ type Service interface {
 	History() word.Word
 }
 
+// Stats is the optional introspection side of a Service: cheap counters the
+// monitor runner records at every verdict. A service that implements it must
+// provide both counters; services without them (the deployed SUT harness)
+// simply record zeros, exactly as before the interface existed.
+type Stats interface {
+	// Pulled returns how many symbols the service has consumed from its
+	// source — everything that can have influenced the execution so far.
+	Pulled() int
+	// HistLen returns the number of input-word symbols emitted so far:
+	// len(History()) without the clone.
+	HistLen() int
+}
+
 // Source supplies the ω-word a word-cursor adversary exhibits, one symbol at
 // a time. Implementations must produce well-formed sequences (per-process
 // alternation); Next is called at most once per position.

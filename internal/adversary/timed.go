@@ -45,7 +45,10 @@ type Timed struct {
 	history word.Word       // outer events: monitor↔Aτ sends and receives
 }
 
-var _ Service = (*Timed)(nil)
+var (
+	_ Service = (*Timed)(nil)
+	_ Stats   = (*Timed)(nil)
+)
 
 // NewTimed wraps the inner service for n processes using the given array
 // kind for the announcement array M.
@@ -101,10 +104,10 @@ func (t *Timed) HistLen() int { return len(t.history) }
 // Lemma 6.1/6.3 experiments relating the correctness of A and Aτ.
 func (t *Timed) InnerHistory() word.Word { return t.inner.History() }
 
-// Pulled delegates to the inner service when it tracks source consumption.
+// Pulled delegates to the inner service when it exposes Stats.
 func (t *Timed) Pulled() int {
-	if p, ok := t.inner.(interface{ Pulled() int }); ok {
-		return p.Pulled()
+	if s, ok := t.inner.(Stats); ok {
+		return s.Pulled()
 	}
 	return 0
 }

@@ -1,0 +1,170 @@
+package check
+
+import (
+	"encoding/binary"
+
+	"github.com/drv-go/drv/internal/spec"
+	"github.com/drv-go/drv/internal/word"
+)
+
+// frontSearch is the fast path of the Wing–Gill witness search, exploiting
+// the shape of histories extracted by word.Operations: within one process,
+// operations never overlap (per-process alternation), so every operation's
+// same-process predecessors are also real-time predecessors. An operation is
+// therefore only ever placeable when it is the first unplaced operation of
+// its process — the search state collapses from an arbitrary placed-subset
+// bitmask to one front index per process, which shrinks both the branching
+// scan (fronts instead of all operations) and the memo keys (a few bytes of
+// front counters instead of ⌈n/8⌉ mask bytes), and lets keys be built into a
+// reused buffer instead of a fresh string per node.
+//
+// The explored space is exactly the generic search's: placed sets reachable
+// under either precedence order are per-process prefix unions, in bijection
+// with front vectors, and the candidate set at each node is the same. Only
+// the visit order differs, which cannot change an exhaustive memoized
+// search's verdict.
+type frontSearch struct {
+	obj    spec.Object
+	ops    []word.Operation
+	byProc [][]int // operation indices per process, in process order
+	front  []int   // per-process count of placed operations
+	// realTime adds the real-time precedence test: an operation may only be
+	// placed when no unplaced operation of another process precedes it.
+	realTime     bool
+	completeLeft int
+	memo         map[string]struct{} // fruitless (fronts, state) nodes
+	key          []byte              // reused key-building buffer
+}
+
+// newFrontSearch lays the operations out per process. ok is false when the
+// slice does not satisfy the per-process alternation shape (strictly
+// increasing ID.Idx, every non-final operation complete and preceding its
+// successor) — callers then fall back to the generic bitmask search.
+func newFrontSearch(obj spec.Object, ops []word.Operation, realTime bool) (*frontSearch, bool) {
+	maxProc := -1
+	for i := range ops {
+		if ops[i].ID.Proc > maxProc {
+			maxProc = ops[i].ID.Proc
+		}
+		if ops[i].ID.Proc < 0 {
+			return nil, false
+		}
+	}
+	s := &frontSearch{
+		obj:      obj,
+		ops:      ops,
+		byProc:   make([][]int, maxProc+1),
+		front:    make([]int, maxProc+1),
+		realTime: realTime,
+		memo:     make(map[string]struct{}),
+	}
+	for i := range ops {
+		o := &ops[i]
+		row := s.byProc[o.ID.Proc]
+		if len(row) > 0 {
+			prev := &ops[row[len(row)-1]]
+			// The shape the collapse relies on: process order is by ID.Idx,
+			// and consecutive same-process operations never overlap.
+			if prev.ID.Idx >= o.ID.Idx || prev.Pending() || prev.Res >= o.Inv {
+				return nil, false
+			}
+		}
+		s.byProc[o.ID.Proc] = append(row, i)
+		if !o.Pending() {
+			s.completeLeft++
+		}
+	}
+	for _, row := range s.byProc {
+		if len(row) > 1<<16-1 {
+			return nil, false // front counters are encoded as uint16
+		}
+	}
+	return s, true
+}
+
+// run starts the search from the object's initial state.
+func (s *frontSearch) run() bool {
+	if len(s.ops) == 0 {
+		return true
+	}
+	return s.rec(s.obj.Init())
+}
+
+// buildKey encodes (fronts, state) into the reused buffer. Front counters
+// are fixed-width so distinct vectors cannot collide, and the state encoding
+// is State.Key's (via the allocation-free AppendKey when available).
+func (s *frontSearch) buildKey(st spec.State) []byte {
+	b := s.key[:0]
+	for _, f := range s.front {
+		b = binary.LittleEndian.AppendUint16(b, uint16(f))
+	}
+	b = append(b, '/')
+	if ka, ok := st.(spec.KeyAppender); ok {
+		b = ka.AppendKey(b)
+	} else {
+		b = append(b, st.Key()...)
+	}
+	s.key = b
+	return b
+}
+
+// placeable reports whether the front operation o of process p may be placed
+// next: under real-time precedence, no other process may still hold an
+// unplaced operation that precedes o. Per process the earliest unplaced
+// response is the front's (responses are increasing along a process), so one
+// front comparison per process decides it.
+func (s *frontSearch) placeable(o *word.Operation) bool {
+	if !s.realTime {
+		return true
+	}
+	for q, row := range s.byProc {
+		if q == o.ID.Proc || s.front[q] >= len(row) {
+			continue
+		}
+		if f := &s.ops[row[s.front[q]]]; f.Precedes(*o) {
+			return false
+		}
+	}
+	return true
+}
+
+// rec is the memoized descent; it mirrors validOrder exactly, over fronts.
+func (s *frontSearch) rec(st spec.State) bool {
+	if s.completeLeft == 0 {
+		return true // remaining pending operations are dropped
+	}
+	if _, hit := s.memo[string(s.buildKey(st))]; hit {
+		return false
+	}
+	for p, row := range s.byProc {
+		if s.front[p] >= len(row) {
+			continue
+		}
+		o := &s.ops[row[s.front[p]]]
+		if !s.placeable(o) {
+			continue
+		}
+		nxt, ret, ok := st.Apply(o.Op, o.Arg)
+		if !ok {
+			continue
+		}
+		if !o.Pending() && !ret.Equal(o.Ret) {
+			continue
+		}
+		s.front[p]++
+		if !o.Pending() {
+			s.completeLeft--
+		}
+		if s.rec(nxt) {
+			return true
+		}
+		s.front[p]--
+		if !o.Pending() {
+			s.completeLeft++
+		}
+	}
+	// Rebuild the key: the buffer was clobbered by the descent, but fronts
+	// and state are back to this node's values, so the encoding is too.
+	s.memo[string(s.buildKey(st))] = struct{}{}
+	return false
+}

@@ -1,0 +1,56 @@
+package check
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/drv-go/drv/internal/spec"
+	"github.com/drv-go/drv/internal/word"
+)
+
+// TestFrontSearchMatchesGenericSearch differentially pins the per-process
+// front search (the production fast path) against the generic bitmask search
+// on histories too large for the brute-force reference: the two must agree on
+// every object, both precedence orders, across random histories mixing
+// consistent, inconsistent and pending-heavy cases.
+func TestFrontSearchMatchesGenericSearch(t *testing.T) {
+	objects := []spec.Object{
+		spec.Register(), spec.Counter(), spec.Queue(), spec.Stack(), spec.Ledger(),
+	}
+	rng := rand.New(rand.NewSource(42))
+	for _, obj := range objects {
+		for trial := 0; trial < 60; trial++ {
+			w := randomHistory(rng, obj, 12+rng.Intn(28), 2+rng.Intn(3))
+			ops := word.Operations(w)
+			for _, realTime := range []bool{true, false} {
+				s, ok := newFrontSearch(obj, ops, realTime)
+				if !ok {
+					t.Fatalf("%s: word.Operations output rejected by the front search on %v", obj.Name(), w)
+				}
+				got := s.run()
+				want := validOrder(obj, ops, precedenceEdges(ops, realTime))
+				if got != want {
+					t.Fatalf("%s realTime=%v: front search=%v generic=%v on %v",
+						obj.Name(), realTime, got, want, w)
+				}
+			}
+		}
+	}
+}
+
+// TestFrontSearchRejectsNonAlternatingOps pins the fallback guard: hand-built
+// operation slices that violate per-process alternation (overlapping
+// same-process operations) must be rejected so the public checkers route
+// them through the generic search instead of silently mis-searching.
+func TestFrontSearchRejectsNonAlternatingOps(t *testing.T) {
+	ops := []word.Operation{
+		{ID: word.OpID{Proc: 0, Idx: 0}, Op: spec.OpRead, Ret: word.Int(0), Inv: 0, Res: 3},
+		{ID: word.OpID{Proc: 0, Idx: 1}, Op: spec.OpRead, Ret: word.Int(0), Inv: 1, Res: 2},
+	}
+	if _, ok := newFrontSearch(spec.Register(), ops, true); ok {
+		t.Error("overlapping same-process operations must fall back to the generic search")
+	}
+	if LinearizableOps(spec.Register(), ops) != validOrder(spec.Register(), ops, precedenceEdges(ops, true)) {
+		t.Error("fallback path disagrees with the generic search")
+	}
+}

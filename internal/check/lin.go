@@ -33,6 +33,9 @@ func Linearizable(obj spec.Object, w word.Word) bool {
 // must carry the invocation/response indices assigned by word.Operations or
 // an order-isomorphic embedding.
 func LinearizableOps(obj spec.Object, ops []word.Operation) bool {
+	if s, ok := newFrontSearch(obj, ops, true); ok {
+		return s.run()
+	}
 	return validOrder(obj, ops, precedenceEdges(ops, true))
 }
 
@@ -46,6 +49,9 @@ func SeqConsistent(obj spec.Object, w word.Word) bool {
 
 // SeqConsistentOps is SeqConsistent on pre-extracted operations.
 func SeqConsistentOps(obj spec.Object, ops []word.Operation) bool {
+	if s, ok := newFrontSearch(obj, ops, false); ok {
+		return s.run()
+	}
 	return validOrder(obj, ops, precedenceEdges(ops, false))
 }
 

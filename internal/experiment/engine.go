@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"sync"
+
+	"github.com/drv-go/drv/internal/monitor"
 )
 
 // The parallel experiment engine. Table 1 decomposes into independent units
@@ -31,6 +33,11 @@ type Options struct {
 	// Cells whose units were skipped report the cancellation cause as their
 	// error, so a rendered fail-fast table marks them with '!'.
 	FailFast bool
+	// Unpooled makes every possibility sweep allocate a fresh runtime per
+	// monitored run instead of reusing its worker's pooled runtime+session
+	// pair. The rendered table is byte-identical either way; the flag exists
+	// for differential tests and as an escape hatch.
+	Unpooled bool
 }
 
 // CellUpdate is one streaming progress event: a cell of Table 1 whose
@@ -60,7 +67,31 @@ type unit struct {
 	// single cell; the impossibility constructions that prove an SD ✗ and a
 	// WD ✗ at once feed two.
 	targets []cellKey
-	run     func(ctx context.Context) []error
+	run     func(ctx context.Context, ex *exec) []error
+}
+
+// exec is the per-worker execution context: each engine worker owns one for
+// its whole batch, so consecutive units reuse one pooled runtime+session pair
+// instead of spawning and tearing down goroutines per monitored run.
+type exec struct {
+	sess *monitor.Session
+}
+
+// run executes one monitored run: on the worker's pooled session when
+// pooling is on, on a dedicated runtime otherwise. The two paths produce
+// byte-identical results (see monitor.Session).
+func (ex *exec) run(cfg monitor.Config) *monitor.Result {
+	if ex == nil || ex.sess == nil {
+		return monitor.Run(cfg)
+	}
+	return ex.sess.Run(cfg)
+}
+
+// close releases the pooled session, if any.
+func (ex *exec) close() {
+	if ex != nil && ex.sess != nil {
+		ex.sess.Close()
+	}
 }
 
 // Run executes the full Table 1 plan under ctx and returns the rows in paper
@@ -81,7 +112,7 @@ func Run(ctx context.Context, p Params, opts Options) ([]Row, error) {
 	ctx, cancel := context.WithCancelCause(ctx)
 	defer cancel(nil)
 
-	exec := func(u unit) {
+	execUnit := func(ex *exec, u unit) {
 		var errs []error
 		if cause := context.Cause(ctx); cause != nil {
 			errs = make([]error, len(u.targets))
@@ -89,7 +120,7 @@ func Run(ctx context.Context, p Params, opts Options) ([]Row, error) {
 				errs[i] = fmt.Errorf("%s skipped: %w", u.name, cause)
 			}
 		} else {
-			errs = u.run(ctx)
+			errs = u.run(ctx, ex)
 			if len(errs) != len(u.targets) {
 				panic(fmt.Sprintf("experiment: unit %q reported %d errors for %d targets", u.name, len(errs), len(u.targets)))
 			}
@@ -99,8 +130,35 @@ func Run(ctx context.Context, p Params, opts Options) ([]Row, error) {
 		}
 	}
 
-	ForEach(len(pl.units), opts.Workers, func(i int) { exec(pl.units[i]) })
+	execs := make([]*exec, WorkerCount(len(pl.units), opts.Workers))
+	for w := range execs {
+		execs[w] = &exec{}
+		if !opts.Unpooled {
+			execs[w].sess = monitor.NewSession()
+		}
+	}
+	defer func() {
+		for _, ex := range execs {
+			ex.close()
+		}
+	}()
+	ForEachWorker(len(pl.units), opts.Workers, func(w, i int) { execUnit(execs[w], pl.units[i]) })
 	return a.rows, context.Cause(ctx)
+}
+
+// WorkerCount normalizes a requested pool size against the work size: at
+// least one worker, at most one per unit of work. It is exactly the worker
+// count ForEachWorker uses, so callers that allocate per-worker state (one
+// pooled runtime+session pair per worker) size their slice with it and index
+// it safely with the worker ids fn receives.
+func WorkerCount(total, workers int) int {
+	if workers < 1 || total < 1 {
+		return 1
+	}
+	if workers > total {
+		return total
+	}
+	return workers
 }
 
 // ForEach runs fn(i) for every index in [0, total) on a bounded worker pool
@@ -113,23 +171,31 @@ func Run(ctx context.Context, p Params, opts Options) ([]Row, error) {
 // and fn must confine its writes to per-index state or its own
 // synchronization.
 func ForEach(total, workers int, fn func(i int)) {
-	if workers <= 1 {
+	ForEachWorker(total, workers, func(_, i int) { fn(i) })
+}
+
+// ForEachWorker is ForEach with worker identity: fn receives the stable
+// index w (0 ≤ w < WorkerCount(total, workers)) of the worker running it, so
+// callers can give each worker exclusive per-batch state — a pooled
+// runtime+session pair — without locking. With workers ≤ 1 every index runs
+// on the calling goroutine as worker 0.
+func ForEachWorker(total, workers int, fn func(worker, i int)) {
+	workers = WorkerCount(total, workers)
+	if workers == 1 {
 		for i := 0; i < total; i++ {
-			fn(i)
+			fn(0, i)
 		}
 		return
-	}
-	if workers > total {
-		workers = total
 	}
 	jobs := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
+		w := w
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				fn(i)
+				fn(w, i)
 			}
 		}()
 	}

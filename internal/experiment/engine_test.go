@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+
+	"github.com/drv-go/drv/internal/monitor"
 )
 
 // cellErrsEqual compares two row slices cell by cell, including error text.
@@ -165,10 +167,13 @@ func TestCellDeterministicAcrossGoroutines(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			// Fold exactly as the engine does: lowest plan order wins.
+			// Fold exactly as the engine does: lowest plan order wins. Each
+			// goroutine owns one pooled session, as each engine worker does.
+			ex := &exec{sess: monitor.NewSession()}
+			defer ex.close()
 			var first error
 			for _, u := range units {
-				errs := u.run(context.Background())
+				errs := u.run(context.Background(), ex)
 				for i, k := range u.targets {
 					if k == target && errs[i] != nil && first == nil {
 						first = errs[i]

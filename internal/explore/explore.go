@@ -50,6 +50,11 @@ type Options struct {
 	// ShrinkBudget bounds the number of candidate executions one shrink may
 	// spend (0 = default).
 	ShrinkBudget int
+	// Unpooled makes every scenario allocate a fresh runtime instead of
+	// reusing its worker's pooled runtime+session pair. Reports are
+	// byte-identical either way; the flag exists for differential tests and
+	// as an escape hatch.
+	Unpooled bool
 	// Wrap, when non-nil, wraps every scenario's monitor; tests use it to
 	// inject synthetically broken monitors and assert the explorer catches
 	// them.
@@ -113,12 +118,30 @@ func Explore(opts Options) (*Report, error) {
 	for i := range specs {
 		specs[i] = NewSpec(opts.Master, i, opts.Gen)
 	}
-	runner := Runner{Wrap: opts.Wrap}
+
+	// One runner per worker: each owns a pooled runtime+session pair for its
+	// whole batch (unless pooling is off), so scenario setup stops paying
+	// per-execution goroutine spawns and result allocations.
+	runners := make([]Runner, experiment.WorkerCount(opts.Scenarios, opts.Workers))
+	for w := range runners {
+		runners[w] = Runner{Wrap: opts.Wrap}
+		if !opts.Unpooled {
+			runners[w].Session = monitor.NewSession()
+		}
+	}
+	defer func() {
+		for _, r := range runners {
+			if r.Session != nil {
+				r.Session.Close()
+			}
+		}
+	}()
 
 	outcomes := make([]*Outcome, opts.Scenarios)
 	errs := make([]error, opts.Scenarios)
 	var mu sync.Mutex
-	experiment.ForEach(opts.Scenarios, opts.Workers, func(i int) {
+	experiment.ForEachWorker(opts.Scenarios, opts.Workers, func(w, i int) {
+		runner := runners[w]
 		out, err := runner.Execute(specs[i])
 		if err == nil && opts.Replay {
 			again, err2 := runner.Execute(specs[i])
@@ -171,7 +194,9 @@ func Explore(opts Options) (*Report, error) {
 		}
 		f := Failure{Spec: out.Spec.String(), Divergences: out.Divergences}
 		if opts.Shrink {
-			shrunk, still := ShrinkSpec(out.Spec, runner, opts.ShrinkBudget)
+			// The fold runs after every worker has drained, so worker 0's
+			// pooled runner is free to replay shrink candidates.
+			shrunk, still := ShrinkSpec(out.Spec, runners[0], opts.ShrinkBudget)
 			if len(still) > 0 {
 				f.Shrunk = shrunk.String()
 				f.ShrunkSteps = shrunk.Steps

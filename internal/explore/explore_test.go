@@ -116,6 +116,36 @@ func TestExploreDeterministicAcrossWorkers(t *testing.T) {
 	}
 }
 
+func TestExplorePooledMatchesUnpooled(t *testing.T) {
+	// Pooled runtime+session reuse is an optimization, never a semantic
+	// knob: the folded report must be byte-identical with pooling on and
+	// off, across worker counts.
+	n := sweepSize()
+	var renders []string
+	for _, cfg := range []struct {
+		unpooled bool
+		workers  int
+	}{{false, 1}, {true, 1}, {false, 4}, {true, 4}} {
+		rep, err := Explore(Options{
+			Master: 5, Scenarios: n, Workers: cfg.workers,
+			Gen: GenConfig{MaxCrashes: 2}, Unpooled: cfg.unpooled,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		js, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		renders = append(renders, string(js))
+	}
+	for i := 1; i < len(renders); i++ {
+		if renders[i] != renders[0] {
+			t.Fatalf("configuration %d folded a different report:\n%s\nvs\n%s", i, renders[i], renders[0])
+		}
+	}
+}
+
 func TestShippedMonitorsHaveNoDivergence(t *testing.T) {
 	// The headline differential claim: across random schedules, crashes and
 	// sources, the shipped monitors never contradict the oracles. Any

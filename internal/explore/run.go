@@ -73,11 +73,17 @@ type Outcome struct {
 	Skipped []string `json:"skipped,omitempty"`
 }
 
-// Runner executes scenarios. The zero value runs the shipped monitors; Wrap
-// lets tests swap in broken ones.
+// Runner executes scenarios. The zero value runs the shipped monitors on a
+// fresh runtime per scenario; Wrap lets tests swap in broken ones, Session
+// lets a worker reuse one pooled runtime for its whole batch.
 type Runner struct {
 	// Wrap, when non-nil, wraps the scenario's monitor before the run.
 	Wrap func(monitor.Monitor) monitor.Monitor
+	// Session, when non-nil, executes every scenario on this pooled
+	// runtime+session pair. Outcomes are byte-identical to unpooled runs,
+	// but the runner must not be used concurrently (explore gives each
+	// worker its own).
+	Session *monitor.Session
 }
 
 // Execute runs the scenario and differentially checks its verdicts. The
@@ -120,7 +126,7 @@ func (r Runner) Execute(s Spec) (*Outcome, error) {
 		svc = tau
 	}
 	m := r.buildMonitor(fam, l, tau)
-	res := monitor.Run(monitor.Config{
+	cfg := monitor.Config{
 		N:       s.N,
 		Monitor: m,
 		NewService: func(rt *sched.Runtime) (adversary.Service, []int) {
@@ -129,7 +135,13 @@ func (r Runner) Execute(s Spec) (*Outcome, error) {
 		Policy:   func(aux []int) sched.Policy { return s.policy(aux) },
 		MaxSteps: s.Steps,
 		Crash:    crash,
-	})
+	}
+	var res *monitor.Result
+	if r.Session != nil {
+		res = r.Session.Run(cfg)
+	} else {
+		res = monitor.Run(cfg)
+	}
 
 	out := &Outcome{
 		Spec:    s,

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+
+	"github.com/drv-go/drv/internal/monitor"
 )
 
 // specVersion tags the seed-spec wire format; bump when the encoding or the
@@ -139,6 +141,11 @@ func (s Spec) validate() error {
 		return fmt.Errorf("explore: spec needs n ≥ 1, got %d", s.N)
 	case s.Steps < 1:
 		return fmt.Errorf("explore: spec needs steps ≥ 1, got %d", s.Steps)
+	case s.Steps > monitor.DefaultMaxSteps:
+		// The runner hands Steps straight to the monitor runner; bounding it
+		// by the runner's own default keeps mis-pasted specs from demanding
+		// effectively unbounded executions.
+		return fmt.Errorf("explore: spec steps %d exceed monitor.DefaultMaxSteps (%d)", s.Steps, monitor.DefaultMaxSteps)
 	case s.Policy != PolBiased && s.Policy != PolRandom && s.Policy != PolBursty && s.Policy != PolCursor:
 		return fmt.Errorf("explore: unknown policy %q", s.Policy)
 	case s.Policy != PolBiased && s.Bias != 0:

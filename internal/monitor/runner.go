@@ -104,90 +104,13 @@ func (r *Result) NOInTail(p, window int) bool {
 	return false
 }
 
-// Run executes the monitor against the service and returns the result.
+// Run executes the monitor against the service and returns the result. It
+// dedicates a one-shot Session (and runtime) to the execution; workloads
+// running many executions should hold a Session and reuse it instead.
 func Run(cfg Config) *Result {
-	rt := sched.New(cfg.N, nil)
-	svc, aux := cfg.NewService(rt)
-	if cfg.Policy != nil {
-		rt.SetPolicy(cfg.Policy(aux))
-	} else if len(aux) > 0 {
-		rt.SetPolicy(sched.Prioritize(aux[0], sched.RoundRobin()))
-	} else {
-		rt.SetPolicy(sched.RoundRobin())
-	}
-	logics := cfg.Monitor.New(cfg.N)
-	res := &Result{
-		Verdicts:  make([][]Verdict, cfg.N),
-		Responses: make([][]adversary.Response, cfg.N),
-		Invs:      make([][]word.Symbol, cfg.N),
-		StepAt:    make([][]int, cfg.N),
-		PulledAt:  make([][]int, cfg.N),
-		HistAt:    make([][]int, cfg.N),
-	}
-	pulled, _ := svc.(interface{ Pulled() int })
-	histLen, _ := svc.(interface{ HistLen() int })
-	for i := 0; i < cfg.N; i++ {
-		i := i
-		logic := logics[i]
-		rt.Spawn(i, func(p *sched.Proc) {
-			for round := 0; ; round++ {
-				v, ok := svc.NextInv(p.ID) // Line 01
-				if !ok {
-					return
-				}
-				if cfg.Gate != nil {
-					cfg.Gate(p, round)
-				}
-				logic.PreSend(p, v)     // Line 02
-				svc.Send(p, v)          // Line 03
-				resp := svc.Recv(p)     // Line 04
-				logic.PostRecv(p, resp) // Line 05
-				d := logic.Decide(p)    // Line 06
-				res.Invs[i] = append(res.Invs[i], v)
-				res.Responses[i] = append(res.Responses[i], resp)
-				res.Verdicts[i] = append(res.Verdicts[i], d)
-				res.StepAt[i] = append(res.StepAt[i], rt.Steps())
-				src := 0
-				if pulled != nil {
-					src = pulled.Pulled()
-				}
-				res.PulledAt[i] = append(res.PulledAt[i], src)
-				hl := 0
-				if histLen != nil {
-					hl = histLen.HistLen()
-				}
-				res.HistAt[i] = append(res.HistAt[i], hl)
-			}
-		})
-	}
-	defer rt.Stop()
-	if cfg.Drive != nil {
-		cfg.Drive(rt)
-	} else {
-		maxSteps := cfg.MaxSteps
-		if maxSteps <= 0 {
-			maxSteps = 1_000_000
-		}
-		crashable, _ := svc.(interface{ Crash(id int) })
-		for rt.Steps() < maxSteps {
-			if ids, ok := cfg.Crash[rt.Steps()]; ok {
-				for _, id := range ids {
-					rt.Crash(id)
-					if crashable != nil {
-						// Tell the service too: a crashed process has no
-						// further events in the exhibited word.
-						crashable.Crash(id)
-					}
-				}
-			}
-			if !rt.Step() {
-				break
-			}
-		}
-	}
-	res.Steps = rt.Steps()
-	res.History = svc.History()
-	return res
+	s := NewSession()
+	defer s.Close()
+	return s.Run(cfg)
 }
 
 // Triples reassembles the sketch triples observed by process p (or by all

@@ -1,0 +1,169 @@
+package monitor
+
+import (
+	"github.com/drv-go/drv/internal/adversary"
+	"github.com/drv-go/drv/internal/sched"
+)
+
+// DefaultMaxSteps bounds an execution when Config.MaxSteps is unset (≤ 0).
+// It is deliberately generous: the services' finite behaviour scripts or the
+// caller's step bound end real experiments long before it trips.
+const DefaultMaxSteps = 1_000_000
+
+// Session executes monitored runs on one reusable runtime. Where Run pays a
+// fresh runtime — N spawned-and-torn-down goroutines plus freshly allocated
+// result buffers — per execution, a Session resets its pooled runtime and
+// appends into the same pre-sized Result buffers run after run, so workloads
+// that execute thousands of scenarios (the explorer, the Table 1 sweeps) set
+// up each execution without allocating.
+//
+// A Session is not safe for concurrent use: pooled workloads give each
+// worker its own. Run returns the session-owned Result, which is valid until
+// the next Run; callers that retain results across runs must copy what they
+// keep (or use the package-level Run, which dedicates a session to the one
+// execution).
+type Session struct {
+	rt     *sched.Runtime
+	res    Result
+	bodies []func(p *sched.Proc)
+
+	// Per-run state read by the pooled process bodies.
+	svc    adversary.Service
+	stats  adversary.Stats
+	logics []Logic
+	gate   func(p *sched.Proc, round int)
+}
+
+// NewSession returns an empty session; its runtime is created lazily at the
+// first Run and grows to the largest process count seen.
+func NewSession() *Session { return &Session{} }
+
+// Close tears down the pooled runtime. The session cannot run afterwards.
+func (s *Session) Close() {
+	if s.rt != nil {
+		s.rt.Stop()
+	}
+}
+
+// body returns the pooled Figure-1 loop for process index i. The closure is
+// built once per index and reused by every run: all per-run state (service,
+// logics, result buffers) is read through the session.
+func (s *Session) body(i int) func(p *sched.Proc) {
+	return func(p *sched.Proc) {
+		logic := s.logics[i]
+		res := &s.res
+		for round := 0; ; round++ {
+			v, ok := s.svc.NextInv(p.ID) // Line 01
+			if !ok {
+				return
+			}
+			if s.gate != nil {
+				s.gate(p, round)
+			}
+			logic.PreSend(p, v)     // Line 02
+			s.svc.Send(p, v)        // Line 03
+			resp := s.svc.Recv(p)   // Line 04
+			logic.PostRecv(p, resp) // Line 05
+			d := logic.Decide(p)    // Line 06
+			res.Invs[i] = append(res.Invs[i], v)
+			res.Responses[i] = append(res.Responses[i], resp)
+			res.Verdicts[i] = append(res.Verdicts[i], d)
+			res.StepAt[i] = append(res.StepAt[i], s.rt.Steps())
+			src, hl := 0, 0
+			if s.stats != nil {
+				src = s.stats.Pulled()
+				hl = s.stats.HistLen()
+			}
+			res.PulledAt[i] = append(res.PulledAt[i], src)
+			res.HistAt[i] = append(res.HistAt[i], hl)
+		}
+	}
+}
+
+// resetResult re-sizes the reusable result buffers for an n-process run:
+// outer slices keep their backing arrays, inner ones rewind to length zero
+// with capacity retained, so steady-state appends stop allocating once the
+// buffers have grown to the workload's sizes.
+func (s *Session) resetResult(n int) {
+	res := &s.res
+	res.Steps = 0
+	res.History = nil
+	grow(&res.Verdicts, n)
+	grow(&res.Responses, n)
+	grow(&res.Invs, n)
+	grow(&res.StepAt, n)
+	grow(&res.PulledAt, n)
+	grow(&res.HistAt, n)
+}
+
+// grow re-sizes a per-process buffer family to n rows, truncating each row in
+// place so its backing array is reused by the next run's appends.
+func grow[T any](s *[][]T, n int) {
+	for len(*s) < n {
+		*s = append(*s, nil)
+	}
+	*s = (*s)[:n]
+	for i := range *s {
+		(*s)[i] = (*s)[i][:0]
+	}
+}
+
+// Run executes one monitored run on the pooled runtime and returns the
+// session-owned result. The execution is byte-for-byte identical to what the
+// package-level Run produces for the same Config: the pooled runtime resets
+// to the exact New-runtime state (step counts, actor IDs, schedules).
+func (s *Session) Run(cfg Config) *Result {
+	if s.rt == nil {
+		s.rt = sched.New(cfg.N, nil)
+	} else {
+		s.rt.Reset(cfg.N, nil)
+	}
+	rt := s.rt
+	svc, aux := cfg.NewService(rt)
+	if cfg.Policy != nil {
+		rt.SetPolicy(cfg.Policy(aux))
+	} else if len(aux) > 0 {
+		rt.SetPolicy(sched.Prioritize(aux[0], sched.RoundRobin()))
+	} else {
+		rt.SetPolicy(sched.RoundRobin())
+	}
+	s.svc = svc
+	s.stats, _ = svc.(adversary.Stats)
+	s.logics = cfg.Monitor.New(cfg.N)
+	s.gate = cfg.Gate
+	s.resetResult(cfg.N)
+	for len(s.bodies) < cfg.N {
+		s.bodies = append(s.bodies, s.body(len(s.bodies)))
+	}
+	for i := 0; i < cfg.N; i++ {
+		rt.Spawn(i, s.bodies[i])
+	}
+
+	if cfg.Drive != nil {
+		cfg.Drive(rt)
+	} else {
+		maxSteps := cfg.MaxSteps
+		if maxSteps <= 0 {
+			maxSteps = DefaultMaxSteps
+		}
+		crashable, _ := svc.(interface{ Crash(id int) })
+		for rt.Steps() < maxSteps {
+			if ids, ok := cfg.Crash[rt.Steps()]; ok {
+				for _, id := range ids {
+					rt.Crash(id)
+					if crashable != nil {
+						// Tell the service too: a crashed process has no
+						// further events in the exhibited word.
+						crashable.Crash(id)
+					}
+				}
+			}
+			if !rt.Step() {
+				break
+			}
+		}
+	}
+	s.res.Steps = rt.Steps()
+	s.res.History = svc.History()
+	return &s.res
+}

@@ -1,0 +1,88 @@
+package monitor_test
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/drv-go/drv/internal/adversary"
+	"github.com/drv-go/drv/internal/lang"
+	"github.com/drv-go/drv/internal/monitor"
+	"github.com/drv-go/drv/internal/sched"
+)
+
+// sessionCfg builds a monitored-run config over the WEC_COUNT "exact" source:
+// a crash schedule mid-run leaves gated processes behind at halt time, which
+// is exactly the state a pooled runtime must recover from.
+func sessionCfg(n int, seed int64, crash map[int][]int, steps int) monitor.Config {
+	src := lang.WECCount().Sources(n, seed)[0]
+	adv := adversary.NewA(n, src.New())
+	return monitor.Config{
+		N:       n,
+		Monitor: monitor.NewWEC(adversary.ArrayAtomic),
+		NewService: func(rt *sched.Runtime) (adversary.Service, []int) {
+			return adv, []int{adv.Register(rt)}
+		},
+		Policy: func(aux []int) sched.Policy {
+			return sched.Biased(seed, aux[0], 0.5)
+		},
+		MaxSteps: steps,
+		Crash:    crash,
+	}
+}
+
+// fingerprint flattens everything a differential consumer reads from a
+// result: history, verdict streams, the per-verdict step/pulled/history
+// indices and the step count.
+func fingerprint(res *monitor.Result) string {
+	s := fmt.Sprintf("steps=%d hist=%s", res.Steps, res.History)
+	for p := range res.Verdicts {
+		s += fmt.Sprintf("|p%d:", p)
+		for k, v := range res.Verdicts[p] {
+			s += fmt.Sprintf(" %s@%d/%d/%d", v, res.StepAt[p][k], res.PulledAt[p][k], res.HistAt[p][k])
+		}
+	}
+	return s
+}
+
+// TestSessionReuseMatchesRun drives the same seeds through fresh one-shot
+// runs and through a single 100×-reused session, crashes and all, and
+// requires identical histories, verdicts and step counts.
+func TestSessionReuseMatchesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("session reuse sweep is a tier-2 test")
+	}
+	const n = 3
+	crash := map[int][]int{40: {1}}
+	want := make([]string, 10)
+	for seed := range want {
+		want[seed] = fingerprint(monitor.Run(sessionCfg(n, int64(seed+1), crash, 400)))
+	}
+
+	s := monitor.NewSession()
+	defer s.Close()
+	for i := 0; i < 100; i++ {
+		seed := i%len(want) + 1
+		got := fingerprint(s.Run(sessionCfg(n, int64(seed), crash, 400)))
+		if got != want[seed-1] {
+			t.Fatalf("reuse %d (seed %d) diverged:\n got %s\nwant %s", i, seed, got, want[seed-1])
+		}
+	}
+}
+
+// TestSessionAcrossProcessCounts interleaves runs of different sizes on one
+// session; each must match its fresh-run fingerprint and report exactly n
+// processes.
+func TestSessionAcrossProcessCounts(t *testing.T) {
+	s := monitor.NewSession()
+	defer s.Close()
+	for _, n := range []int{4, 2, 3, 2, 4} {
+		want := monitor.Run(sessionCfg(n, 7, nil, 300))
+		got := s.Run(sessionCfg(n, 7, nil, 300))
+		if got.Procs() != n {
+			t.Fatalf("n=%d: pooled result reports %d processes", n, got.Procs())
+		}
+		if fingerprint(got) != fingerprint(want) {
+			t.Fatalf("n=%d: pooled run diverged from fresh run", n)
+		}
+	}
+}

@@ -13,6 +13,13 @@
 // gate (Proc.Await) — used to wait for the adversary to deliver a response —
 // and is not runnable until the gate opens. Crashing a process simply stops
 // scheduling it, which is exactly the crash model of the paper.
+//
+// Runtimes are poolable: Reset rewinds a runtime for a fresh execution while
+// reusing its Proc structs, parked process goroutines, and runnable scratch
+// buffer, so workloads that run thousands of short executions (the scenario
+// explorer, the Table 1 sweeps) pay goroutine spawn/teardown once per worker
+// instead of once per execution, and the steady-state step loop allocates
+// nothing.
 package sched
 
 import (
@@ -22,7 +29,7 @@ import (
 )
 
 // errStopped is the sentinel panic value used to unwind process goroutines
-// when the runtime shuts down; it never escapes the package.
+// when the runtime halts an execution; it never escapes the package.
 var errStopped = errors.New("sched: runtime stopped")
 
 type procState uint8
@@ -47,6 +54,8 @@ type Proc struct {
 	gate    func() bool
 	steps   int
 	spawned bool
+	body    func(p *Proc)
+	live    bool // worker goroutine started (parked at <-grant between runs)
 }
 
 // Pause yields control and blocks until the scheduler grants the process its
@@ -84,6 +93,35 @@ func (p *Proc) checkStopped() {
 	}
 }
 
+// loop is the persistent worker: it parks between executions at <-p.grant,
+// runs the spawned body when granted its first step, signals exit, and parks
+// again until the next Reset/Spawn cycle — or returns for good once the
+// runtime is killed by Stop.
+func (p *Proc) loop() {
+	defer p.rt.wg.Done()
+	for {
+		<-p.grant
+		if p.rt.killed {
+			return
+		}
+		p.runBody()
+		p.state = stateExited
+		p.done <- struct{}{}
+	}
+}
+
+// runBody executes the body of one spawn, absorbing the errStopped unwind.
+func (p *Proc) runBody() {
+	defer func() {
+		if r := recover(); r != nil && r != errStopped {
+			panic(r)
+		}
+	}()
+	p.checkStopped()
+	p.steps++
+	p.body(p)
+}
+
 // Policy chooses the next actor to schedule among the runnable ones. IDs
 // 0..n−1 are processes; IDs ≥ n are auxiliary actors in registration order.
 // runnable is sorted ascending and non-empty; implementations must return one
@@ -92,14 +130,18 @@ type Policy interface {
 	Next(runnable []int, step int) int
 }
 
-// Runtime hosts the processes and auxiliary actors of one execution.
+// Runtime hosts the processes and auxiliary actors of one execution. A
+// runtime can be reused for many executions via Reset; Stop tears it down for
+// good.
 type Runtime struct {
 	n       int
 	procs   []*Proc
 	aux     []auxActor
 	policy  Policy
+	scratch []int // runnable-ID buffer reused across Steps
 	steps   int
-	stopped bool
+	stopped bool // current execution halted; bodies unwind at next grant
+	killed  bool // runtime dead for good; workers exit at next grant
 	started bool
 	wg      sync.WaitGroup
 }
@@ -112,21 +154,52 @@ type auxActor struct {
 
 // New creates a runtime for n processes scheduled by the policy.
 func New(n int, policy Policy) *Runtime {
+	rt := &Runtime{}
+	rt.Reset(n, policy)
+	return rt
+}
+
+// Reset rewinds the runtime for a fresh execution of n processes under the
+// policy: any in-flight execution is halted (its process bodies unwind and
+// their goroutines park for reuse), auxiliary actors are dropped, and the
+// step count rewinds to zero. Proc structs, parked goroutines and the
+// runnable scratch buffer are reused, so resetting an already-grown runtime
+// allocates nothing. The runtime behaves exactly like a fresh New(n, policy):
+// schedules are byte-for-byte deterministic across reuse.
+func (rt *Runtime) Reset(n int, policy Policy) {
+	if rt.killed {
+		panic("sched: Reset after Stop")
+	}
 	if n < 1 {
 		panic("sched: need at least one process")
 	}
-	rt := &Runtime{n: n, policy: policy}
-	rt.procs = make([]*Proc, n)
-	for i := range rt.procs {
-		rt.procs[i] = &Proc{
+	rt.halt()
+	for len(rt.procs) < n {
+		i := len(rt.procs)
+		rt.procs = append(rt.procs, &Proc{
 			ID:    i,
 			rt:    rt,
 			grant: make(chan struct{}),
 			done:  make(chan struct{}),
 			state: stateReady,
-		}
+		})
 	}
-	return rt
+	rt.n = n
+	rt.policy = policy
+	rt.steps = 0
+	rt.stopped = false
+	rt.started = false
+	rt.aux = rt.aux[:0]
+	for _, p := range rt.procs[:n] {
+		p.state = stateReady
+		p.gate = nil
+		p.steps = 0
+		p.spawned = false
+		p.body = nil
+	}
+	if cap(rt.scratch) < n {
+		rt.scratch = make([]int, 0, n+4)
+	}
 }
 
 // N returns the number of processes.
@@ -147,7 +220,9 @@ func (rt *Runtime) Steps() int { return rt.steps }
 
 // Spawn installs the body of process id. The body starts executing at the
 // process's first scheduled step. Must be called before Run/Step; each
-// process can be spawned once.
+// process can be spawned once per execution (Reset re-arms it). The worker
+// goroutine is created on the process's first-ever spawn and reused by
+// subsequent executions.
 func (rt *Runtime) Spawn(id int, body func(p *Proc)) {
 	if rt.started {
 		panic("sched: Spawn after Run")
@@ -157,21 +232,12 @@ func (rt *Runtime) Spawn(id int, body func(p *Proc)) {
 		panic(fmt.Sprintf("sched: process %d spawned twice", id))
 	}
 	p.spawned = true
-	rt.wg.Add(1)
-	go func() {
-		defer rt.wg.Done()
-		defer func() {
-			if r := recover(); r != nil && r != errStopped {
-				panic(r)
-			}
-			p.state = stateExited
-			p.done <- struct{}{}
-		}()
-		<-p.grant
-		p.checkStopped()
-		p.steps++
-		body(p)
-	}()
+	p.body = body
+	if !p.live {
+		p.live = true
+		rt.wg.Add(1)
+		go p.loop()
+	}
 }
 
 // AddAux registers an auxiliary actor — a step function scheduled like a
@@ -187,8 +253,8 @@ func (rt *Runtime) AddAux(name string, runnable func() bool, step func()) int {
 }
 
 // Crash marks the process as crashed: it is never scheduled again. Its
-// goroutine is reclaimed at Stop. Matches the crash-fault model where up to
-// n−1 processes may stop taking steps.
+// goroutine is reclaimed at Reset or Stop. Matches the crash-fault model
+// where up to n−1 processes may stop taking steps.
 func (rt *Runtime) Crash(id int) {
 	if rt.procs[id].state != stateExited {
 		rt.procs[id].state = stateCrashed
@@ -204,7 +270,7 @@ func (rt *Runtime) Exited(id int) bool { return rt.procs[id].state == stateExite
 
 func (rt *Runtime) runnableIDs(buf []int) []int {
 	buf = buf[:0]
-	for i, p := range rt.procs {
+	for i, p := range rt.procs[:rt.n] {
 		if !p.spawned {
 			continue
 		}
@@ -217,8 +283,8 @@ func (rt *Runtime) runnableIDs(buf []int) []int {
 			}
 		}
 	}
-	for j, a := range rt.aux {
-		if a.runnable() {
+	for j := range rt.aux {
+		if rt.aux[j].runnable() {
 			buf = append(buf, rt.n+j)
 		}
 	}
@@ -232,7 +298,8 @@ func (rt *Runtime) Step() bool {
 		panic("sched: no policy installed")
 	}
 	rt.started = true
-	runnable := rt.runnableIDs(make([]int, 0, rt.n+len(rt.aux)))
+	runnable := rt.runnableIDs(rt.scratch)
+	rt.scratch = runnable
 	if len(runnable) == 0 {
 		return false
 	}
@@ -263,19 +330,35 @@ func (rt *Runtime) Run(maxSteps int) int {
 	return maxSteps
 }
 
-// Stop terminates all process goroutines and waits for them to exit. The
-// runtime cannot be used afterwards. Safe to call multiple times.
-func (rt *Runtime) Stop() {
+// halt unwinds the current execution: every spawned, non-exited process is
+// granted one final step at which its body panics out (errStopped) and its
+// goroutine parks, ready for the next Reset/Spawn cycle.
+func (rt *Runtime) halt() {
 	if rt.stopped {
 		return
 	}
 	rt.stopped = true
 	for _, p := range rt.procs {
-		if !p.spawned || p.state == stateExited {
+		if !p.live || !p.spawned || p.state == stateExited {
 			continue
 		}
 		p.grant <- struct{}{}
 		<-p.done
+	}
+}
+
+// Stop terminates all process goroutines and waits for them to exit. The
+// runtime cannot be used (or Reset) afterwards. Safe to call multiple times.
+func (rt *Runtime) Stop() {
+	if rt.killed {
+		return
+	}
+	rt.halt()
+	rt.killed = true
+	for _, p := range rt.procs {
+		if p.live {
+			p.grant <- struct{}{}
+		}
 	}
 	rt.wg.Wait()
 }

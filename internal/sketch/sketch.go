@@ -7,9 +7,10 @@
 package sketch
 
 import (
+	"cmp"
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
 
 	"github.com/drv-go/drv/internal/adversary"
 	"github.com/drv-go/drv/internal/word"
@@ -61,40 +62,40 @@ func Build(n int, triples []Triple, resolve Resolver) (word.Word, error) {
 	for _, v := range distinct {
 		views = append(views, v)
 	}
-	sort.Slice(views, func(i, j int) bool { return views[i].Total() < views[j].Total() })
+	slices.SortFunc(views, func(a, b adversary.View) int { return cmp.Compare(a.Total(), b.Total()) })
 	for i := 1; i < len(views); i++ {
 		if !views[i-1].Leq(views[i]) {
 			return nil, fmt.Errorf("%w: %v vs %v", ErrIncomparableViews, views[i-1], views[i])
 		}
 	}
 
-	var out word.Word
+	out := make(word.Word, 0, 2*len(triples))
+	var fresh []word.OpID
 	prev := adversary.NewView(make([]int, n))
 	for _, v := range views {
 		// Step 1: invocations newly visible in this view.
-		var fresh []word.OpID
+		fresh = fresh[:0]
 		v.Diff(prev, func(id word.OpID) { fresh = append(fresh, id) })
-		sort.Slice(fresh, func(i, j int) bool {
-			if fresh[i].Proc != fresh[j].Proc {
-				return fresh[i].Proc < fresh[j].Proc
-			}
-			return fresh[i].Idx < fresh[j].Idx
-		})
+		slices.SortFunc(fresh, compareOpIDs)
 		for _, id := range fresh {
 			out = append(out, resolve(id))
 		}
 		// Step 2: responses of the operations carrying exactly this view.
 		batch := byKey[v.Key()]
-		sort.Slice(batch, func(i, j int) bool {
-			if batch[i].ID.Proc != batch[j].ID.Proc {
-				return batch[i].ID.Proc < batch[j].ID.Proc
-			}
-			return batch[i].ID.Idx < batch[j].ID.Idx
-		})
+		slices.SortFunc(batch, func(a, b Triple) int { return compareOpIDs(a.ID, b.ID) })
 		for _, tr := range batch {
 			out = append(out, tr.Res)
 		}
 		prev = v
 	}
 	return out, nil
+}
+
+// compareOpIDs orders identifiers by process then per-process index — the
+// canonical batch order of the construction.
+func compareOpIDs(a, b word.OpID) int {
+	if a.Proc != b.Proc {
+		return cmp.Compare(a.Proc, b.Proc)
+	}
+	return cmp.Compare(a.Idx, b.Idx)
 }

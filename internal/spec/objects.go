@@ -3,6 +3,7 @@ package spec
 import (
 	"fmt"
 	"math/rand"
+	"strconv"
 	"strings"
 
 	"github.com/drv-go/drv/internal/word"
@@ -48,6 +49,11 @@ func (register) RandArg(op string, rng *rand.Rand) word.Value {
 type regState word.Int
 
 func (s regState) Key() string { return fmt.Sprintf("r%d", int64(s)) }
+
+// AppendKey implements spec.KeyAppender with the Key encoding.
+func (s regState) AppendKey(b []byte) []byte {
+	return strconv.AppendInt(append(b, 'r'), int64(s), 10)
+}
 func (s regState) Apply(op string, arg word.Value) (State, word.Value, bool) {
 	switch op {
 	case OpWrite:
@@ -81,6 +87,11 @@ func (counter) RandArg(string, *rand.Rand) word.Value { return word.Unit{} }
 type ctrState word.Int
 
 func (s ctrState) Key() string { return fmt.Sprintf("c%d", int64(s)) }
+
+// AppendKey implements spec.KeyAppender with the Key encoding.
+func (s ctrState) AppendKey(b []byte) []byte {
+	return strconv.AppendInt(append(b, 'c'), int64(s), 10)
+}
 func (s ctrState) Apply(op string, arg word.Value) (State, word.Value, bool) {
 	switch op {
 	case OpInc:
@@ -112,19 +123,53 @@ func (ledger) RandArg(op string, rng *rand.Rand) word.Value {
 	return word.Unit{}
 }
 
+// ledState is a persistent ledger: appends share their prefix through parent
+// links, so Apply(append) is one small allocation instead of a full record
+// copy — checker searches apply every candidate operation at every visited
+// node, which made copying the dominant cost of SC_LED/LIN_LED scenarios.
+// The canonical encoding and the materialized record list are cached on the
+// node the first time they are needed; states remain immutable values (the
+// cache fills in idempotently, and states never cross goroutines mid-search).
 type ledState struct {
-	recs word.Seq
+	n *ledNode // nil = empty ledger
+}
+
+type ledNode struct {
+	parent *ledNode
+	rec    word.Rec
+	enc    string   // lazy: "l" + rec + "|" per record, prefix-shared
+	seq    word.Seq // lazy: materialized record list
 }
 
 func (s ledState) Key() string {
-	var b strings.Builder
-	b.WriteByte('l')
-	for _, r := range s.recs {
-		b.WriteString(string(r))
-		b.WriteByte('|')
+	if s.n == nil {
+		return "l"
 	}
-	return b.String()
+	return s.n.key()
 }
+
+func (n *ledNode) key() string {
+	if n.enc == "" {
+		n.enc = ledState{n.parent}.Key() + string(n.rec) + "|"
+	}
+	return n.enc
+}
+
+func (s ledState) recs() word.Seq {
+	if s.n == nil {
+		return nil
+	}
+	n := s.n
+	if n.seq == nil {
+		parent := ledState{n.parent}.recs()
+		// Cap the parent's slice so sibling appends cannot share growth.
+		n.seq = append(parent[:len(parent):len(parent)], n.rec)
+	}
+	return n.seq
+}
+
+// AppendKey implements spec.KeyAppender with the Key encoding.
+func (s ledState) AppendKey(b []byte) []byte { return append(b, s.Key()...) }
 
 func (s ledState) Apply(op string, arg word.Value) (State, word.Value, bool) {
 	switch op {
@@ -133,12 +178,11 @@ func (s ledState) Apply(op string, arg word.Value) (State, word.Value, bool) {
 		if !ok {
 			return s, nil, false
 		}
-		next := make(word.Seq, 0, len(s.recs)+1)
-		next = append(next, s.recs...)
-		next = append(next, r)
-		return ledState{recs: next}, word.Unit{}, true
+		return ledState{n: &ledNode{parent: s.n, rec: r}}, word.Unit{}, true
 	case OpGet:
-		return s, s.recs.Clone(), true
+		// States are immutable and Values are never mutated by consumers, so
+		// the cached record list can be returned without a defensive clone.
+		return s, s.recs(), true
 	default:
 		return s, nil, false
 	}
@@ -190,6 +234,11 @@ type vecState struct {
 
 func (s vecState) Key() string { return "v" + s.cells.String() }
 
+// AppendKey implements spec.KeyAppender with the Key encoding.
+func (s vecState) AppendKey(b []byte) []byte {
+	return append(append(b, 'v'), s.cells.String()...)
+}
+
 func (s vecState) Apply(op string, arg word.Value) (State, word.Value, bool) {
 	if op == OpScan {
 		return s, s.cells.Clone(), true
@@ -234,6 +283,11 @@ type queueState struct {
 }
 
 func (s queueState) Key() string { return "q" + s.items }
+
+// AppendKey implements spec.KeyAppender with the Key encoding.
+func (s queueState) AppendKey(b []byte) []byte {
+	return append(append(b, 'q'), s.items...)
+}
 
 func (s queueState) Apply(op string, arg word.Value) (State, word.Value, bool) {
 	switch op {
@@ -285,6 +339,11 @@ type stackState struct {
 }
 
 func (s stackState) Key() string { return "s" + s.items }
+
+// AppendKey implements spec.KeyAppender with the Key encoding.
+func (s stackState) AppendKey(b []byte) []byte {
+	return append(append(b, 's'), s.items...)
+}
 
 func (s stackState) Apply(op string, arg word.Value) (State, word.Value, bool) {
 	switch op {

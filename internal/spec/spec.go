@@ -25,6 +25,15 @@ type State interface {
 	Key() string
 }
 
+// KeyAppender is an optional fast path for State.Key: AppendKey appends the
+// exact bytes Key would return to b and returns the extended slice, letting
+// checker searches build memo keys into reused buffers instead of allocating
+// a string per visited node. Implementations must keep the two encodings
+// identical.
+type KeyAppender interface {
+	AppendKey(b []byte) []byte
+}
+
 // OpSig describes one operation of an object's interface, for workload
 // generators.
 type OpSig struct {
