@@ -5,13 +5,20 @@
 // against the ground-truth oracles. Divergent scenarios are shrunk to
 // minimal reproducers and reported as one-line seed specs.
 //
-// The sweep is deterministic: the same flags produce a byte-identical
-// report (and -out file) for every worker count.
+// With -corpus the sweep is coverage-guided: a directory of one-line seed
+// specs is loaded, a -mutate-frac share of the budget mutates those seeds
+// instead of drawing fresh random specs, and scenarios that reach a novel
+// coverage signature are saved back as new seeds.
+//
+// The sweep is deterministic: the same flags (including the same corpus
+// contents) produce a byte-identical report (and -out file) for every
+// worker count.
 //
 // Usage:
 //
 //	drvexplore [-seeds k] [-master m] [-j workers] [-lang L1,L2] [-crashes c]
 //	           [-max-steps s] [-pool] [-replay-check] [-no-shrink] [-progress]
+//	           [-corpus dir] [-mutate-frac f] [-corpus-save]
 //	           [-out seeds.json] [-cpuprofile f]
 //	drvexplore -replay "drv1:WEC_COUNT/exact:n=3:seed=7:pol=random:steps=2600"
 package main
@@ -25,6 +32,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 	"strings"
 
 	"github.com/drv-go/drv/internal/explore"
@@ -50,6 +58,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	progress := fs.Bool("progress", false, "stream per-scenario completion to stderr")
 	out := fs.String("out", "", "write the JSON report to this file")
 	replay := fs.String("replay", "", "replay a single seed spec and print its outcome (ignores sweep flags)")
+	corpusDir := fs.String("corpus", "", "seed-corpus directory: load it before the sweep, save novel-signature specs back after")
+	mutateFrac := fs.Float64("mutate-frac", 0.5, "fraction of the budget spent mutating corpus entries (needs -corpus; 0 = blind sweep)")
+	corpusSave := fs.Bool("corpus-save", true, "with -corpus, write novel entries back to the directory after the sweep")
 	pool := fs.Bool("pool", true, "reuse one pooled runtime+session per worker (output is byte-identical either way)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 	if err := fs.Parse(args); err != nil {
@@ -78,16 +89,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	opts := explore.Options{
-		Master:    *master,
-		Scenarios: *seeds,
-		Workers:   workers,
-		Gen:       explore.GenConfig{MaxCrashes: *crashes, MaxSteps: *maxSteps},
-		Replay:    *replayCheck,
-		Shrink:    !*noShrink,
-		Unpooled:  !*pool,
+		Master:     *master,
+		Scenarios:  *seeds,
+		Workers:    workers,
+		Gen:        explore.GenConfig{MaxCrashes: *crashes, MaxSteps: *maxSteps},
+		Replay:     *replayCheck,
+		Shrink:     !*noShrink,
+		Unpooled:   !*pool,
+		MutateFrac: *mutateFrac,
 	}
 	if *langs != "" {
 		opts.Gen.Langs = strings.Split(*langs, ",")
+	}
+	if *corpusDir != "" {
+		corpus, err := explore.LoadCorpus(*corpusDir)
+		if err != nil {
+			fmt.Fprintf(stderr, "drvexplore: %v\n", err)
+			return 2
+		}
+		opts.Corpus = corpus
 	}
 	if *progress {
 		done := 0
@@ -109,6 +129,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	fmt.Fprintf(stdout, "explored %d scenarios (master seed %d): %d crashed runs, %d steps, %d verdicts\n",
 		rep.Scenarios, rep.Master, rep.Crashed, rep.TotalSteps, rep.TotalVerdicts)
+	if opts.Corpus != nil {
+		fmt.Fprintf(stdout, "coverage: %d distinct signatures (%d mutated scenarios from %d corpus seeds, %d novel seeds found)\n",
+			rep.Coverage, rep.Mutated, rep.CorpusSeeds, rep.CorpusNew)
+	} else {
+		fmt.Fprintf(stdout, "coverage: %d distinct signatures\n", rep.Coverage)
+	}
 	fmt.Fprintf(stdout, "checks run: %s\n", countList(rep.Checks))
 	fmt.Fprintf(stdout, "checks skipped: %s\n", countList(rep.Skipped))
 	for _, f := range rep.Failures {
@@ -136,6 +162,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if err != nil {
 			fmt.Fprintf(stderr, "drvexplore: writing report: %v\n", err)
 			writeFailed = true
+		}
+	}
+	if opts.Corpus != nil && *corpusSave {
+		n, err := opts.Corpus.SaveNew(*corpusDir)
+		if err != nil {
+			fmt.Fprintf(stderr, "drvexplore: saving corpus: %v\n", err)
+			writeFailed = true
+		} else if n > 0 {
+			fmt.Fprintf(stdout, "saved %d new corpus seed(s) to %s\n", n, *corpusDir)
 		}
 	}
 
@@ -177,17 +212,31 @@ func replayOne(specLine string, stdout, stderr io.Writer) int {
 	return 1
 }
 
-// countList renders a count map deterministically (sorted by key) as
-// "name=count name=count".
+// countList renders a count map deterministically as "name=count
+// name=count": known check names first in CheckNames order, then any other
+// keys sorted — a report from a newer explorer must not have its counters
+// silently dropped. "none" when the map contributes nothing.
 func countList(m map[string]int) string {
-	if len(m) == 0 {
-		return "none"
-	}
 	parts := make([]string, 0, len(m))
+	known := map[string]bool{}
 	for _, name := range explore.CheckNames() {
+		known[name] = true
 		if c, ok := m[name]; ok {
 			parts = append(parts, fmt.Sprintf("%s=%d", name, c))
 		}
+	}
+	var rest []string
+	for name := range m {
+		if !known[name] {
+			rest = append(rest, name)
+		}
+	}
+	sort.Strings(rest)
+	for _, name := range rest {
+		parts = append(parts, fmt.Sprintf("%s=%d", name, m[name]))
+	}
+	if len(parts) == 0 {
+		return "none"
 	}
 	return strings.Join(parts, " ")
 }

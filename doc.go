@@ -32,11 +32,16 @@
 //   - internal/sut — real object implementations (correct and seeded-bug)
 //     monitored end to end; internal/msgnet and internal/abd port the stack
 //     to message passing via the ABD register emulation.
-//   - internal/explore — the randomized scenario explorer: seeded random
-//     schedules, crash schedules and adversary behaviours run through the
-//     real monitors, with every verdict stream differentially checked
+//   - internal/explore — the coverage-guided scenario explorer: seeded
+//     random schedules, crash schedules and adversary behaviours run through
+//     the real monitors, with every verdict stream differentially checked
 //     against the ground-truth oracles; divergences shrink to one-line seed
-//     specs.
+//     specs. Every outcome folds into a deterministic coverage signature,
+//     a corpus (persisted under testdata/corpus, one seed spec per novel
+//     signature) feeds seeded spec mutators, and each round splits its
+//     budget between fresh random specs and mutations of corpus entries —
+//     drvexplore -corpus/-mutate-frac — while staying byte-deterministic in
+//     the master seed and independent of the worker count.
 //
 // The cmd directory holds the reproduction tools (drvtable, drvtrace,
 // drvmon, drvsketch, drvexplore); examples holds five runnable

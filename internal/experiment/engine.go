@@ -180,30 +180,84 @@ func ForEach(total, workers int, fn func(i int)) {
 // runtime+session pair — without locking. With workers ≤ 1 every index runs
 // on the calling goroutine as worker 0.
 func ForEachWorker(total, workers int, fn func(worker, i int)) {
-	workers = WorkerCount(total, workers)
+	p := NewPool(WorkerCount(total, workers))
+	defer p.Close()
+	p.Run(total, fn)
+}
+
+// Pool is a reusable bounded worker pool: the worker goroutines persist
+// across Run batches, so round-structured workloads — the explorer's guided
+// exploration runs one batch per round, growing its corpus between rounds —
+// pay goroutine startup once per sweep instead of once per round, and
+// per-worker state (a pooled runtime+session pair indexed by the worker id
+// fn receives) stays owned by the same workers for the pool's whole life.
+// ForEachWorker is the one-batch convenience wrapper.
+type Pool struct {
+	workers int
+	jobs    chan func(worker int)
+	wg      sync.WaitGroup
+}
+
+// NewPool starts a pool of the given size. Sizes ≤ 1 yield an inline pool
+// that runs every batch on the calling goroutine as worker 0 and spawns
+// nothing. Close releases the workers.
+func NewPool(workers int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	p := &Pool{workers: workers}
 	if workers == 1 {
+		return p
+	}
+	p.jobs = make(chan func(worker int))
+	for w := 0; w < workers; w++ {
+		w := w
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for fn := range p.jobs {
+				fn(w)
+			}
+		}()
+	}
+	return p
+}
+
+// Workers returns the pool size: the exclusive upper bound of the worker ids
+// Run passes to fn, so callers size per-worker state slices with it.
+func (p *Pool) Workers() int { return p.workers }
+
+// Run dispatches indices 0..total−1 onto the pool and blocks until every
+// call has finished. Indices are dispatched in order; as with ForEach,
+// results must be folded by index (not completion order) for deterministic
+// output, and fn must confine its writes to per-index or per-worker state.
+func (p *Pool) Run(total int, fn func(worker, i int)) {
+	if p.jobs == nil {
 		for i := 0; i < total; i++ {
 			fn(0, i)
 		}
 		return
 	}
-	jobs := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		w := w
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range jobs {
-				fn(w, i)
-			}
-		}()
-	}
+	var batch sync.WaitGroup
+	batch.Add(total)
 	for i := 0; i < total; i++ {
-		jobs <- i
+		i := i
+		p.jobs <- func(w int) {
+			defer batch.Done()
+			fn(w, i)
+		}
 	}
-	close(jobs)
-	wg.Wait()
+	batch.Wait()
+}
+
+// Close shuts the worker goroutines down and waits for them to exit. The
+// pool must not be used afterwards; Close is idempotent.
+func (p *Pool) Close() {
+	if p.jobs != nil {
+		close(p.jobs)
+		p.wg.Wait()
+		p.jobs = nil
+	}
 }
 
 // agg folds unit errors back into cells. All mutation happens under mu, so

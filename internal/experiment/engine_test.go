@@ -277,3 +277,55 @@ func TestForEachSequentialOrder(t *testing.T) {
 	// Zero work is a no-op for any worker count.
 	ForEach(0, 4, func(int) { t.Fatal("fn called for empty range") })
 }
+
+func TestPoolReusableAcrossBatches(t *testing.T) {
+	// The pool's reason to exist: several Run batches on the same workers,
+	// each batch a complete barrier, worker ids stable and in range so
+	// per-worker state stays exclusively owned across rounds.
+	for _, workers := range []int{1, 4} {
+		p := NewPool(workers)
+		if p.Workers() != workers {
+			t.Fatalf("pool of %d reports %d workers", workers, p.Workers())
+		}
+		var mu sync.Mutex
+		for batch := 0; batch < 3; batch++ {
+			counts := make([]int, 23)
+			p.Run(len(counts), func(w, i int) {
+				if w < 0 || w >= workers {
+					t.Errorf("worker id %d out of range [0,%d)", w, workers)
+				}
+				mu.Lock()
+				counts[i]++
+				mu.Unlock()
+			})
+			// Run returned: the batch barrier guarantees every index ran.
+			for i, c := range counts {
+				if c != 1 {
+					t.Fatalf("workers=%d batch %d: index %d ran %d times", workers, batch, i, c)
+				}
+			}
+		}
+		p.Run(0, func(int, int) { t.Fatal("fn called for empty batch") })
+		p.Close()
+		p.Close() // idempotent
+	}
+}
+
+func TestPoolInlineWhenSingleWorker(t *testing.T) {
+	// A one-worker pool runs on the calling goroutine in index order, so
+	// sequential callers see sequential semantics.
+	p := NewPool(1)
+	defer p.Close()
+	var order []int
+	p.Run(10, func(w, i int) {
+		if w != 0 {
+			t.Fatalf("inline pool used worker %d", w)
+		}
+		order = append(order, i) // no lock: calling goroutine only
+	})
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("inline pool visited %v", order)
+		}
+	}
+}

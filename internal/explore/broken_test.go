@@ -112,6 +112,49 @@ func TestBrokenYesMonitorCaughtAndShrunk(t *testing.T) {
 	}
 }
 
+func TestShrinkBudgetExhaustionReturnsBestSoFar(t *testing.T) {
+	// A shrink that runs out of candidate executions mid-search must return
+	// the smallest spec that was CONFIRMED divergent, with its divergences —
+	// never a half-explored candidate it could not re-execute.
+	r := Runner{Wrap: wrapYes}
+	s := Spec{Lang: "WEC_COUNT", Source: "own-inc-violation", N: 3, Seed: 11, Policy: PolCursor, Steps: 3000}
+
+	// Budget 1: only the initial confirmation runs, so the best-so-far IS
+	// the original spec.
+	best, still := ShrinkSpec(s, r, 1)
+	if len(still) == 0 {
+		t.Fatal("budget-1 shrink lost the divergence")
+	}
+	if best.String() != s.String() {
+		t.Errorf("budget-1 shrink returned %s, want the original %s", best, s)
+	}
+
+	// Tight budgets must always return a confirmed reproducer no larger than
+	// the original, monotonically improving (never regressing) as the budget
+	// grows enough to reach further axes.
+	prevSteps := s.Steps + 1
+	for _, budget := range []int{2, 5, 20, 60} {
+		best, still := ShrinkSpec(s, r, budget)
+		if len(still) == 0 {
+			t.Fatalf("budget-%d shrink lost the divergence", budget)
+		}
+		if best.N > s.N || best.Steps > s.Steps || len(best.Crashes) > len(s.Crashes) {
+			t.Errorf("budget-%d shrink returned a larger spec: %s", budget, best)
+		}
+		out, err := r.Execute(best)
+		if err != nil {
+			t.Fatalf("budget-%d reproducer does not execute: %v", budget, err)
+		}
+		if len(out.Divergences) == 0 {
+			t.Errorf("budget-%d reproducer %s does not diverge", budget, best)
+		}
+		if best.Steps > prevSteps {
+			t.Errorf("budget-%d reproducer (%d steps) is worse than the smaller budget's (%d)", budget, best.Steps, prevSteps)
+		}
+		prevSteps = best.Steps
+	}
+}
+
 func TestBrokenFlipFlopCaught(t *testing.T) {
 	// False alarms on an in-language source violate the WD tail predicate.
 	r := Runner{Wrap: wrapFlipFlop}

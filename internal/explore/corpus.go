@@ -1,0 +1,154 @@
+package explore
+
+// The seed corpus: the persistent half of coverage-guided exploration. A
+// corpus is an ordered, signature-deduplicated list of specs that each
+// produced a coverage signature no earlier spec produced. On disk a corpus
+// is a directory of *.seed files, each holding any number of entries — a
+// "# sig:" comment carrying an entry's signature followed by its one-line
+// seed spec. Every save appends one batch file named by a content hash, so
+// growth is append-only at the file level and repeated saves are no-op
+// diffs; hand-written files (bare spec lines, comments) load too.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// seedExt is the corpus file extension; other files in the directory are
+// ignored, so a README can sit next to the seeds.
+const seedExt = ".seed"
+
+// Entry is one corpus seed: a spec and the coverage signature it produced
+// ("" when a hand-written file carries no signature; such entries still
+// serve as mutation parents but never dedup anything).
+type Entry struct {
+	Spec Spec
+	Sig  string
+}
+
+// Corpus is an in-memory seed corpus. Entry order is deterministic: loaded
+// entries sort by file name (then file line order), entries added during a
+// run append in fold order — so a guided exploration's mutation draws are
+// reproducible from the directory contents and the master seed alone.
+type Corpus struct {
+	entries []Entry
+	bySig   map[string]bool
+	bySpec  map[string]bool
+	loaded  int // entries[:loaded] came from disk; SaveNew writes the rest
+}
+
+// NewCorpus returns an empty corpus.
+func NewCorpus() *Corpus {
+	return &Corpus{bySig: map[string]bool{}, bySpec: map[string]bool{}}
+}
+
+// LoadCorpus reads every *.seed file under dir (one level, sorted by name).
+// A missing directory is an empty corpus — the bootstrap case: the first
+// guided run creates it on save. Malformed specs are errors, not skips; a
+// corpus that silently dropped entries would change every later mutation
+// draw.
+func LoadCorpus(dir string) (*Corpus, error) {
+	c := NewCorpus()
+	files, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return c, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("explore: corpus: %w", err)
+	}
+	names := make([]string, 0, len(files))
+	for _, f := range files {
+		if !f.IsDir() && strings.HasSuffix(f.Name(), seedExt) {
+			names = append(names, f.Name())
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, fmt.Errorf("explore: corpus: %w", err)
+		}
+		sig := ""
+		for _, line := range strings.Split(string(data), "\n") {
+			line = strings.TrimSpace(line)
+			switch {
+			case line == "":
+			case strings.HasPrefix(line, "# sig:"):
+				sig = strings.TrimSpace(strings.TrimPrefix(line, "# sig:"))
+			case strings.HasPrefix(line, "#"):
+			default:
+				s, err := ParseSpec(line)
+				if err != nil {
+					return nil, fmt.Errorf("explore: corpus %s: %w", name, err)
+				}
+				c.Add(s, sig)
+				sig = ""
+			}
+		}
+	}
+	c.loaded = len(c.entries)
+	return c, nil
+}
+
+// Len returns the number of entries.
+func (c *Corpus) Len() int { return len(c.entries) }
+
+// At returns entry i's spec, in deterministic corpus order.
+func (c *Corpus) At(i int) Spec { return c.entries[i].Spec }
+
+// New returns how many entries were added since load — the ones SaveNew
+// persists.
+func (c *Corpus) New() int { return len(c.entries) - c.loaded }
+
+// HasSig reports whether some entry already covers the signature.
+func (c *Corpus) HasSig(sig string) bool { return sig != "" && c.bySig[sig] }
+
+// Add appends the spec unless its signature or its exact spec line is
+// already covered; it reports whether the corpus grew.
+func (c *Corpus) Add(s Spec, sig string) bool {
+	line := s.String()
+	if c.HasSig(sig) || c.bySpec[line] {
+		return false
+	}
+	c.entries = append(c.entries, Entry{Spec: s, Sig: sig})
+	if sig != "" {
+		c.bySig[sig] = true
+	}
+	c.bySpec[line] = true
+	return true
+}
+
+// SaveNew writes every entry added since load into dir (creating it if
+// needed) as one batch file named by a hash of its content, and returns how
+// many entries it wrote. Batches from different runs land in different
+// files, so corpus growth is append-only at the file level; re-saving the
+// same batch rewrites the same file with the same bytes — a no-op diff.
+func (c *Corpus) SaveNew(dir string) (int, error) {
+	if c.New() == 0 {
+		return 0, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return 0, fmt.Errorf("explore: corpus: %w", err)
+	}
+	var b strings.Builder
+	for _, e := range c.entries[c.loaded:] {
+		if e.Sig != "" {
+			b.WriteString("# sig: ")
+			b.WriteString(e.Sig)
+			b.WriteByte('\n')
+		}
+		b.WriteString(e.Spec.String())
+		b.WriteByte('\n')
+	}
+	sum := sha256.Sum256([]byte(b.String()))
+	name := "batch-" + hex.EncodeToString(sum[:6]) + seedExt
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(b.String()), 0o644); err != nil {
+		return 0, fmt.Errorf("explore: corpus: %w", err)
+	}
+	return c.New(), nil
+}

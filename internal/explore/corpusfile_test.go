@@ -1,0 +1,190 @@
+package explore
+
+// Corpus persistence: the load/save round trip, signature dedup, the legacy
+// no-signature format, and the deterministic entry order mutation draws
+// depend on.
+
+import (
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// TestRegenerateSeedCorpus rebuilds the committed seed corpus; normally
+// skipped. Regenerate (after a signature-algorithm or spec-format change)
+// with:
+//
+//	EXPLORE_CORPUS_OUT=testdata/corpus go test -run TestRegenerateSeedCorpus -v ./internal/explore
+//
+// Delete the directory first for a from-scratch corpus; with it in place the
+// run extends it. The sweep is itself guided, so later rounds mutate what
+// earlier rounds discovered and the saved corpus covers more than a blind
+// sweep of the same budget would.
+func TestRegenerateSeedCorpus(t *testing.T) {
+	dir := os.Getenv("EXPLORE_CORPUS_OUT")
+	if dir == "" {
+		t.Skip("set EXPLORE_CORPUS_OUT=testdata/corpus to regenerate the committed corpus")
+	}
+	c, err := LoadCorpus(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Explore(Options{
+		Master: 1135, Scenarios: 1200, Workers: runtime.NumCPU(),
+		Gen: GenConfig{MaxCrashes: 2}, Corpus: c, MutateFrac: 0.4, Round: 50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := c.SaveNew(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("coverage %d over %d scenarios (%d mutated); saved %d new seeds to %s",
+		rep.Coverage, rep.Scenarios, rep.Mutated, n, dir)
+	for _, f := range rep.Failures {
+		t.Errorf("divergence while regenerating: %s %v", f.Spec, f.Divergences)
+	}
+}
+
+func mustSpec(t *testing.T, line string) Spec {
+	t.Helper()
+	s, err := ParseSpec(line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestCorpusSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	c := NewCorpus()
+	a := mustSpec(t, "drv1:WEC_COUNT/exact:n=3:seed=1:pol=random:steps=100")
+	b := mustSpec(t, "drv1:LIN_REG/atomic:n=2:seed=2:pol=bursty:steps=200:crash=0@50")
+	if !c.Add(a, "c1:sigA") || !c.Add(b, "c1:sigB") {
+		t.Fatal("fresh entries not added")
+	}
+	n, err := c.SaveNew(dir)
+	if err != nil || n != 2 {
+		t.Fatalf("SaveNew wrote %d entries, err %v", n, err)
+	}
+
+	loaded, err := LoadCorpus(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != 2 || loaded.New() != 0 {
+		t.Fatalf("loaded %d entries (%d new), want 2 (0 new)", loaded.Len(), loaded.New())
+	}
+	if !loaded.HasSig("c1:sigA") || !loaded.HasSig("c1:sigB") {
+		t.Error("signatures not restored from disk")
+	}
+	got := map[string]bool{loaded.At(0).String(): true, loaded.At(1).String(): true}
+	if !got[a.String()] || !got[b.String()] {
+		t.Errorf("loaded specs %v do not match saved ones", got)
+	}
+
+	// A re-save of the same corpus is a no-op: nothing is new.
+	if n, err := loaded.SaveNew(dir); err != nil || n != 0 {
+		t.Fatalf("re-save wrote %d files, err %v", n, err)
+	}
+}
+
+func TestCorpusDedup(t *testing.T) {
+	c := NewCorpus()
+	a := mustSpec(t, "drv1:WEC_COUNT/exact:n=3:seed=1:pol=random:steps=100")
+	if !c.Add(a, "c1:sig") {
+		t.Fatal("first add rejected")
+	}
+	if c.Add(a, "") {
+		t.Error("exact duplicate spec added")
+	}
+	other := mustSpec(t, "drv1:WEC_COUNT/exact:n=3:seed=99:pol=random:steps=100")
+	if c.Add(other, "c1:sig") {
+		t.Error("already-covered signature added")
+	}
+	if !c.Add(other, "c1:other") {
+		t.Error("novel signature rejected")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("corpus has %d entries, want 2", c.Len())
+	}
+}
+
+func TestCorpusLoadOrderIsDeterministic(t *testing.T) {
+	// Entry order feeds the seeded mutation draws, so it must be a pure
+	// function of the directory contents: sorted by file name.
+	dir := t.TempDir()
+	lines := []string{
+		"drv1:WEC_COUNT/exact:n=3:seed=1:pol=random:steps=100",
+		"drv1:WEC_COUNT/exact:n=3:seed=2:pol=random:steps=100",
+		"drv1:WEC_COUNT/exact:n=3:seed=3:pol=random:steps=100",
+	}
+	// Write in non-sorted name order to prove loading re-sorts.
+	for i, name := range []string{"c.seed", "a.seed", "b.seed"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(lines[i]+"\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c, err := LoadCorpus(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantOrder := []string{lines[1], lines[2], lines[0]} // a.seed, b.seed, c.seed
+	for i, want := range wantOrder {
+		if got := c.At(i).String(); got != want {
+			t.Errorf("entry %d is %q, want %q", i, got, want)
+		}
+	}
+}
+
+func TestCorpusLoadLegacyAndComments(t *testing.T) {
+	dir := t.TempDir()
+	content := strings.Join([]string{
+		"# a hand-written seed file: no signature, extra comments, blank lines",
+		"",
+		"drv1:WEC_COUNT/exact:n=3:seed=1:pol=random:steps=100",
+		"# sig: c1:known",
+		"drv1:LIN_REG/atomic:n=2:seed=2:pol=bursty:steps=200",
+		"",
+	}, "\n")
+	if err := os.WriteFile(filepath.Join(dir, "hand.seed"), []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Non-seed files are ignored.
+	if err := os.WriteFile(filepath.Join(dir, "README.md"), []byte("docs\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err := LoadCorpus(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("loaded %d entries, want 2", c.Len())
+	}
+	if !c.HasSig("c1:known") || c.HasSig("") {
+		t.Error("signature attachment wrong")
+	}
+}
+
+func TestCorpusLoadMissingDirIsEmpty(t *testing.T) {
+	c, err := LoadCorpus(filepath.Join(t.TempDir(), "nope"))
+	if err != nil {
+		t.Fatalf("missing dir should bootstrap an empty corpus, got %v", err)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("empty corpus has %d entries", c.Len())
+	}
+}
+
+func TestCorpusLoadRejectsMalformedSpec(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "bad.seed"), []byte("drv1:garbage\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCorpus(dir); err == nil {
+		t.Error("malformed corpus entry loaded silently")
+	}
+}

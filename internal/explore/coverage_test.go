@@ -1,0 +1,104 @@
+package explore
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSignatureDeterministic(t *testing.T) {
+	// The signature folds only replay-deterministic data, so executing the
+	// same spec twice must produce the same signature.
+	specs := []string{
+		"drv1:WEC_COUNT/exact:n=3:seed=7:pol=random:steps=2600",
+		"drv1:LIN_REG/atomic:n=3:seed=7:pol=bursty:steps=500:crash=1@120",
+		"drv1:SEC_COUNT/over-read:n=2:seed=7:pol=biased/0.60:steps=2100",
+	}
+	for _, in := range specs {
+		s, err := ParseSpec(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := Execute(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Execute(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Signature == "" {
+			t.Fatalf("%s: empty signature", in)
+		}
+		if a.Signature != b.Signature {
+			t.Errorf("%s: signature %q then %q across two executions", in, a.Signature, b.Signature)
+		}
+	}
+}
+
+func TestSignatureSeparatesScenarioShapes(t *testing.T) {
+	// Different languages, crash placements and divergence outcomes must land
+	// in different coverage classes — otherwise guidance has nothing to hold
+	// on to.
+	shapes := []string{
+		"drv1:WEC_COUNT/exact:n=3:seed=7:pol=random:steps=2600",
+		"drv1:LIN_REG/atomic:n=3:seed=7:pol=bursty:steps=500",
+		"drv1:LIN_REG/atomic:n=3:seed=7:pol=bursty:steps=500:crash=1@120",
+		"drv1:LIN_REG/atomic:n=3:seed=7:pol=bursty:steps=500:crash=1@480",
+	}
+	seen := map[string]string{}
+	for _, in := range shapes {
+		s, err := ParseSpec(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := Execute(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev, dup := seen[out.Signature]; dup {
+			t.Errorf("%s and %s share signature %q", prev, in, out.Signature)
+		}
+		seen[out.Signature] = in
+	}
+}
+
+func TestSignatureFoldsDivergences(t *testing.T) {
+	// A diverging run must carry its failed checks in the signature: the
+	// corpus then keeps one entry per divergence kind, the most valuable
+	// coverage classes of all.
+	s := Spec{Lang: "WEC_COUNT", Source: "own-inc-violation", N: 3, Seed: 11, Policy: PolCursor, Steps: 3000}
+	clean, err := Execute(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	broken, err := Runner{Wrap: wrapYes}.Execute(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(broken.Divergences) == 0 {
+		t.Fatal("broken monitor did not diverge")
+	}
+	if !strings.Contains(broken.Signature, "|dv=") {
+		t.Errorf("diverging signature %q lacks a dv field", broken.Signature)
+	}
+	if clean.Signature == broken.Signature {
+		t.Error("clean and diverging runs share a signature")
+	}
+}
+
+func TestSignatureBuckets(t *testing.T) {
+	for _, tc := range []struct{ n, want int }{
+		{0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4}, {1023, 10},
+	} {
+		if got := log2Bucket(tc.n); got != tc.want {
+			t.Errorf("log2Bucket(%d) = %d, want %d", tc.n, got, tc.want)
+		}
+	}
+	for _, tc := range []struct{ step, bound, want int }{
+		{0, 100, 0}, {24, 100, 0}, {25, 100, 1}, {99, 100, 3}, {100, 100, 3}, {5, 0, 0},
+	} {
+		if got := quarter(tc.step, tc.bound); got != tc.want {
+			t.Errorf("quarter(%d, %d) = %d, want %d", tc.step, tc.bound, got, tc.want)
+		}
+	}
+}

@@ -17,12 +17,23 @@
 // fewer processes, fewer scheduler steps — to a minimal reproducer before it
 // is reported.
 //
+// Exploration can be coverage-guided: every outcome folds into a compact
+// deterministic signature (coverage.go — verdict-stream shape, crash/verdict
+// interleaving class, the ran/skipped check vector, adversary cursor stats),
+// a corpus (corpus.go) keeps one spec per novel signature, and each round
+// splits its budget between fresh random specs and seeded mutations of
+// corpus entries (mutate.go). Signatures fold in scenario-index order
+// between rounds, so a guided sweep stays byte-deterministic in the master
+// seed and independent of the worker count, exactly like a blind one.
+//
 // cmd/drvexplore is the command-line front end; corpus_test.go pins a
-// regression corpus of interesting specs.
+// regression corpus of interesting specs, and testdata/corpus holds the
+// committed seed corpus guided runs start from.
 package explore
 
 import (
 	"fmt"
+	"math/rand"
 	"sort"
 	"sync"
 
@@ -55,6 +66,22 @@ type Options struct {
 	// byte-identical either way; the flag exists for differential tests and
 	// as an escape hatch.
 	Unpooled bool
+	// Corpus, when non-nil, turns the sweep coverage-guided: mutation draws
+	// take parents from it, and specs producing coverage signatures no
+	// corpus entry covers are added to it as the sweep runs (the caller owns
+	// persistence via Corpus.SaveNew). Growth is folded in scenario-index
+	// order between rounds, so a guided report is as worker-count-
+	// independent as a blind one.
+	Corpus *Corpus
+	// MutateFrac ∈ [0,1] is the fraction of the scenario budget spent
+	// mutating corpus entries instead of drawing fresh random specs. 0, or
+	// an empty corpus, reproduces the blind sweep scenario for scenario.
+	MutateFrac float64
+	// Round is the number of scenarios run between corpus folds (0 = the
+	// default). Smaller rounds feed discoveries back into mutation sooner at
+	// slightly more fold overhead; the round size must be identical for two
+	// runs to compare byte-for-byte, and is independent of Workers.
+	Round int
 	// Wrap, when non-nil, wraps every scenario's monitor; tests use it to
 	// inject synthetically broken monitors and assert the explorer catches
 	// them.
@@ -99,30 +126,61 @@ type Report struct {
 	// excluded).
 	TotalSteps    int64 `json:"total_steps"`
 	TotalVerdicts int64 `json:"total_verdicts"`
+	// Coverage counts the distinct coverage signatures the sweep produced —
+	// the guided explorer's figure of merit.
+	Coverage int `json:"coverage"`
+	// Mutated counts scenarios derived by mutating corpus entries (the rest
+	// were fresh random draws).
+	Mutated int `json:"mutated"`
+	// CorpusSeeds is the corpus size when the sweep started; CorpusNew is
+	// how many novel-signature specs the sweep added to it.
+	CorpusSeeds int `json:"corpus_seeds,omitempty"`
+	CorpusNew   int `json:"corpus_new,omitempty"`
 }
 
 // Divergent reports whether the exploration found any divergence.
 func (r *Report) Divergent() bool { return len(r.Failures) > 0 }
 
-// Explore runs the configured number of random scenarios on a bounded worker
-// pool and folds the outcomes into a report that is identical for every
-// worker count.
+// defaultRound is the scenarios-per-round fold granularity of a guided
+// sweep: small enough that discoveries feed back into mutation within a few
+// hundred scenarios, large enough that every worker of a typical pool has a
+// full batch per round.
+const defaultRound = 64
+
+// guidedSalt decorrelates the guidance stream (the mutate-or-fresh coin and
+// the mutation draws for scenario i) from the generation stream NewSpec
+// consumes, so a blind sweep's scenarios are untouched by guidance being on.
+const guidedSalt = 0x9ded
+
+// Explore runs the configured number of scenarios on a bounded worker pool
+// and folds the outcomes into a report that is identical for every worker
+// count. With a corpus and MutateFrac > 0 the sweep is coverage-guided: it
+// runs in rounds, splitting each round's budget between fresh random specs
+// and mutations of corpus entries, and folds novel-signature specs into the
+// corpus between rounds (in scenario-index order, so guidance is as
+// deterministic as generation).
 func Explore(opts Options) (*Report, error) {
 	if opts.Scenarios < 0 {
 		return nil, fmt.Errorf("explore: negative scenario count %d", opts.Scenarios)
 	}
+	if opts.MutateFrac < 0 || opts.MutateFrac > 1 {
+		return nil, fmt.Errorf("explore: MutateFrac %v outside [0,1]", opts.MutateFrac)
+	}
 	if err := opts.Gen.validate(); err != nil {
 		return nil, err
 	}
-	specs := make([]Spec, opts.Scenarios)
-	for i := range specs {
-		specs[i] = NewSpec(opts.Master, i, opts.Gen)
+	round := opts.Round
+	if round <= 0 {
+		round = defaultRound
 	}
 
-	// One runner per worker: each owns a pooled runtime+session pair for its
-	// whole batch (unless pooling is off), so scenario setup stops paying
-	// per-execution goroutine spawns and result allocations.
-	runners := make([]Runner, experiment.WorkerCount(opts.Scenarios, opts.Workers))
+	// One runner per worker: each owns a pooled runtime+session pair for the
+	// whole sweep (unless pooling is off), so scenario setup stops paying
+	// per-execution goroutine spawns and result allocations. The pool itself
+	// persists across rounds too.
+	pool := experiment.NewPool(experiment.WorkerCount(opts.Scenarios, opts.Workers))
+	defer pool.Close()
+	runners := make([]Runner, pool.Workers())
 	for w := range runners {
 		runners[w] = Runner{Wrap: opts.Wrap}
 		if !opts.Unpooled {
@@ -137,34 +195,6 @@ func Explore(opts Options) (*Report, error) {
 		}
 	}()
 
-	outcomes := make([]*Outcome, opts.Scenarios)
-	errs := make([]error, opts.Scenarios)
-	var mu sync.Mutex
-	experiment.ForEachWorker(opts.Scenarios, opts.Workers, func(w, i int) {
-		runner := runners[w]
-		out, err := runner.Execute(specs[i])
-		if err == nil && opts.Replay {
-			again, err2 := runner.Execute(specs[i])
-			if err2 != nil {
-				err = err2
-			} else {
-				out.Ran = append(out.Ran, CheckReplay)
-				if again.Digest != out.Digest {
-					out.Divergences = append(out.Divergences, Divergence{
-						Check:  CheckReplay,
-						Detail: fmt.Sprintf("digest %s on first run, %s on replay", out.Digest, again.Digest),
-					})
-				}
-			}
-		}
-		outcomes[i], errs[i] = out, err
-		if opts.OnScenario != nil && out != nil {
-			mu.Lock()
-			opts.OnScenario(i, out)
-			mu.Unlock()
-		}
-	})
-
 	rep := &Report{
 		Master:    opts.Master,
 		Scenarios: opts.Scenarios,
@@ -173,37 +203,108 @@ func Explore(opts Options) (*Report, error) {
 		Skipped:   map[string]int{},
 		ByLang:    map[string]int{},
 	}
-	for i, out := range outcomes {
-		if errs[i] != nil {
-			return nil, fmt.Errorf("explore: scenario %d (%s): %w", i, specs[i], errs[i])
+	if opts.Corpus != nil {
+		rep.CorpusSeeds = opts.Corpus.Len()
+	}
+
+	specs := make([]Spec, opts.Scenarios)
+	outcomes := make([]*Outcome, opts.Scenarios)
+	errs := make([]error, opts.Scenarios)
+	seen := map[string]bool{}
+	var mu sync.Mutex
+	for next := 0; next < opts.Scenarios; next += round {
+		batch := round
+		if next+batch > opts.Scenarios {
+			batch = opts.Scenarios - next
 		}
-		rep.ByLang[out.Spec.Lang]++
-		if len(out.Spec.Crashes) > 0 {
-			rep.Crashed++
-		}
-		for _, c := range out.Ran {
-			rep.Checks[c]++
-		}
-		for _, c := range out.Skipped {
-			rep.Skipped[c]++
-		}
-		rep.TotalSteps += int64(out.Steps)
-		rep.TotalVerdicts += int64(out.Verdicts)
-		if len(out.Divergences) == 0 {
-			continue
-		}
-		f := Failure{Spec: out.Spec.String(), Divergences: out.Divergences}
-		if opts.Shrink {
-			// The fold runs after every worker has drained, so worker 0's
-			// pooled runner is free to replay shrink candidates.
-			shrunk, still := ShrinkSpec(out.Spec, runners[0], opts.ShrinkBudget)
-			if len(still) > 0 {
-				f.Shrunk = shrunk.String()
-				f.ShrunkSteps = shrunk.Steps
-				f.ShrunkDivergences = still
+		// Build the round's specs sequentially: the mutate-or-fresh coin and
+		// the mutation itself draw from a per-index stream independent of
+		// the one NewSpec consumes, so MutateFrac 0 reproduces the blind
+		// sweep exactly and worker count never enters.
+		for i := next; i < next+batch; i++ {
+			if opts.Corpus != nil && opts.Corpus.Len() > 0 {
+				guide := rand.New(rand.NewSource(mix(mix(opts.Master, guidedSalt), int64(i))))
+				if guide.Float64() < opts.MutateFrac {
+					parent := opts.Corpus.At(guide.Intn(opts.Corpus.Len()))
+					specs[i] = Mutate(parent, guide, opts.Gen)
+					rep.Mutated++
+					continue
+				}
 			}
+			specs[i] = NewSpec(opts.Master, i, opts.Gen)
 		}
-		rep.Failures = append(rep.Failures, f)
+
+		pool.Run(batch, func(w, j int) {
+			i := next + j
+			runner := runners[w]
+			out, err := runner.Execute(specs[i])
+			if err == nil && opts.Replay {
+				again, err2 := runner.Execute(specs[i])
+				if err2 != nil {
+					err = err2
+				} else {
+					out.Ran = append(out.Ran, CheckReplay)
+					if again.Digest != out.Digest {
+						out.Divergences = append(out.Divergences, Divergence{
+							Check:  CheckReplay,
+							Detail: fmt.Sprintf("digest %s on first run, %s on replay", out.Digest, again.Digest),
+						})
+					}
+				}
+			}
+			outcomes[i], errs[i] = out, err
+			if opts.OnScenario != nil && out != nil {
+				mu.Lock()
+				opts.OnScenario(i, out)
+				mu.Unlock()
+			}
+		})
+
+		// Fold the round in scenario-index order: aggregate counters, record
+		// coverage, grow the corpus with novel-signature specs, and shrink
+		// divergences (every worker has drained, so worker 0's pooled runner
+		// is free to replay shrink candidates).
+		for i := next; i < next+batch; i++ {
+			if errs[i] != nil {
+				return nil, fmt.Errorf("explore: scenario %d (%s): %w", i, specs[i], errs[i])
+			}
+			out := outcomes[i]
+			rep.ByLang[out.Spec.Lang]++
+			if len(out.Spec.Crashes) > 0 {
+				rep.Crashed++
+			}
+			for _, c := range out.Ran {
+				rep.Checks[c]++
+			}
+			for _, c := range out.Skipped {
+				rep.Skipped[c]++
+			}
+			rep.TotalSteps += int64(out.Steps)
+			rep.TotalVerdicts += int64(out.Verdicts)
+			if !seen[out.Signature] {
+				seen[out.Signature] = true
+				rep.Coverage++
+				if opts.Corpus != nil && !opts.Corpus.HasSig(out.Signature) {
+					opts.Corpus.Add(out.Spec, out.Signature)
+				}
+			}
+			if len(out.Divergences) == 0 {
+				continue
+			}
+			f := Failure{Spec: out.Spec.String(), Divergences: out.Divergences}
+			if opts.Shrink {
+				shrunk, still := ShrinkSpec(out.Spec, runners[0], opts.ShrinkBudget)
+				if len(still) > 0 {
+					f.Shrunk = shrunk.String()
+					f.ShrunkSteps = shrunk.Steps
+					f.ShrunkDivergences = still
+				}
+			}
+			rep.Failures = append(rep.Failures, f)
+		}
+	}
+	if opts.Corpus != nil {
+		rep.CorpusNew = opts.Corpus.Len() - rep.CorpusSeeds
 	}
 	return rep, nil
 }

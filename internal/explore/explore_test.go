@@ -2,6 +2,7 @@ package explore
 
 import (
 	"encoding/json"
+	"math/rand"
 	"strings"
 	"testing"
 )
@@ -35,14 +36,60 @@ func TestParseSpecRejectsMalformed(t *testing.T) {
 		"drv1:WEC_COUNT/exact:n=3:seed=1:pol=random:steps=10:crash=0@10",
 		"drv1:WEC_COUNT/exact:n=3:seed=1:pol=random:steps=100:crash=0@1O0",
 		"drv1:WEC_COUNT/exact:n=3:seed=1:pol=random:steps=10:bogus=1",
-		"drv1:WEC_COUNT/exact:n=3:seed=1:pol=biased/0.755:steps=10",
 		"drv1:WEC_COUNT/exact:n=3:seed=1:pol=biased/1.50:steps=10",
+		// NaN fails every range comparison, so the bias check must use the
+		// negated in-range form to reject it.
+		"drv1:WEC_COUNT/exact:n=3:seed=1:pol=biased/NaN:steps=10",
+		"drv1:WEC_COUNT/exact:n=3:seed=1:pol=biased/-Inf:steps=10",
 		"drv1:WEC_COUNT/exact:n=3:seed=1:pol=random/0.50:steps=10",
+		// Duplicate fields would silently overwrite the first value.
+		"drv1:WEC_COUNT/exact:n=3:n=4:seed=1:pol=random:steps=10",
+		"drv1:WEC_COUNT/exact:n=3:seed=1:seed=2:pol=random:steps=10",
+		"drv1:WEC_COUNT/exact:n=3:seed=1:pol=random:steps=10:crash=0@5:crash=1@6",
+		// Crash schedules must be in canonical step-then-process order with
+		// one crash per process; out-of-order or duplicated schedules would
+		// make two spec strings name one execution.
+		"drv1:WEC_COUNT/exact:n=3:seed=1:pol=random:steps=100:crash=1@50,0@20",
+		"drv1:WEC_COUNT/exact:n=3:seed=1:pol=random:steps=100:crash=1@20,0@20",
+		"drv1:WEC_COUNT/exact:n=3:seed=1:pol=random:steps=100:crash=0@20,0@50",
+		"drv1:WEC_COUNT/exact:n=3:seed=1:pol=random:steps=100:crash=0@20,0@20",
+		// Trailing garbage in crash= fields.
+		"drv1:WEC_COUNT/exact:n=3:seed=1:pol=random:steps=100:crash=0@20,",
+		"drv1:WEC_COUNT/exact:n=3:seed=1:pol=random:steps=100:crash=0@2 0",
 	}
 	for _, in := range bad {
 		if _, err := ParseSpec(in); err == nil {
 			t.Errorf("ParseSpec(%q) accepted a malformed spec", in)
 		}
+	}
+}
+
+func TestSpecBiasExactRoundTrip(t *testing.T) {
+	// The FormatFloat('g', -1) encoding must make String↔ParseSpec exact for
+	// ANY bias in [0,1] — in particular the off-grid biases mutation
+	// produces, which the old %.2f quantization rejected.
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 500; i++ {
+		s := Spec{Lang: "WEC_COUNT", Source: "exact", N: 3, Seed: rng.Int63(),
+			Policy: PolBiased, Bias: rng.Float64(), Steps: 100}
+		parsed, err := ParseSpec(s.String())
+		if err != nil {
+			t.Fatalf("bias %v: %v", s.Bias, err)
+		}
+		if parsed.Bias != s.Bias || parsed.String() != s.String() {
+			t.Fatalf("bias %v did not round-trip exactly: %q parsed to %+v", s.Bias, s.String(), parsed)
+		}
+	}
+	// Old two-decimal specs still parse (and re-render normalized).
+	legacy, err := ParseSpec("drv1:WEC_COUNT/exact:n=3:seed=1:pol=biased/0.50:steps=10")
+	if err != nil {
+		t.Fatalf("legacy two-decimal bias rejected: %v", err)
+	}
+	if legacy.Bias != 0.5 {
+		t.Fatalf("legacy bias parsed to %v, want 0.5", legacy.Bias)
+	}
+	if got := legacy.String(); got != "drv1:WEC_COUNT/exact:n=3:seed=1:pol=biased/0.5:steps=10" {
+		t.Fatalf("legacy spec re-rendered as %q", got)
 	}
 }
 

@@ -107,9 +107,9 @@ func NewSpec(master int64, index int, cfg GenConfig) Spec {
 		s.Policy = PolCursor
 	default:
 		s.Policy = PolBiased
-		// Generate the bias in the exact form the "%.2f" spec encoding
-		// parses back to, so a spec round-trips bit-identically and a
-		// replayed scenario draws the same schedule.
+		// Fresh specs draw from a coarse bias grid (the encoding itself is
+		// exact for any float64 since the FormatFloat move — mutators perturb
+		// off-grid); the grid keeps blind sweeps reproducible across PRs.
 		s.Bias = float64(30+5*rng.Intn(11)) / 100 // 0.30..0.80
 	}
 

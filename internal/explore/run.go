@@ -64,6 +64,13 @@ type Outcome struct {
 	// Digest fingerprints the full execution (history, verdict streams,
 	// step and history indices); equal specs must produce equal digests.
 	Digest string `json:"digest"`
+	// Cursor snapshots the adversary cursor's drive state at the end of the
+	// run (source depth, gate backlog, exhaustion) — one of the signature's
+	// coverage axes.
+	Cursor adversary.CursorStats `json:"cursor"`
+	// Signature is the outcome's coverage class (see coverage.go): the
+	// guided explorer corpus-keeps one spec per distinct signature.
+	Signature string `json:"signature"`
 	// Divergences are the failed differential checks, empty when the
 	// scenario is clean.
 	Divergences []Divergence `json:"divergences,omitempty"`
@@ -150,11 +157,13 @@ func (r Runner) Execute(s Spec) (*Outcome, error) {
 		Steps:   res.Steps,
 		NOs:     res.TotalNO(),
 		Digest:  digest(res),
+		Cursor:  adv.CursorStats(),
 	}
 	for p := range res.Verdicts {
 		out.Verdicts += len(res.Verdicts[p])
 	}
 	runChecks(out, l, lb, fam, res, tau)
+	out.Signature = signatureOf(out, res)
 	return out, nil
 }
 

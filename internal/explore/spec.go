@@ -66,7 +66,12 @@ func (s Spec) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s:%s/%s:n=%d:seed=%d:pol=%s", specVersion, s.Lang, s.Source, s.N, s.Seed, s.Policy)
 	if s.Policy == PolBiased {
-		fmt.Fprintf(&b, "/%.2f", s.Bias)
+		// 'g'/-1 renders the shortest decimal that parses back to exactly
+		// this float64, so String↔ParseSpec is exact for every bias a
+		// mutator can produce (the old %.2f encoding forced biases onto a
+		// hundredths grid); old two-decimal specs still parse.
+		b.WriteByte('/')
+		b.WriteString(strconv.FormatFloat(s.Bias, 'g', -1, 64))
 	}
 	fmt.Fprintf(&b, ":steps=%d", s.Steps)
 	if len(s.Crashes) > 0 {
@@ -93,11 +98,18 @@ func ParseSpec(in string) (Spec, error) {
 		return s, fmt.Errorf("explore: spec %q lacks a lang/source field", in)
 	}
 	s.Lang, s.Source = langSrc[0], langSrc[1]
+	seen := map[string]bool{}
 	for _, f := range fields[2:] {
 		kv := strings.SplitN(f, "=", 2)
 		if len(kv) != 2 {
 			return s, fmt.Errorf("explore: malformed spec field %q", f)
 		}
+		if seen[kv[0]] {
+			// A duplicate field would silently overwrite the first value and
+			// replay a different execution than the spec's author saw.
+			return s, fmt.Errorf("explore: duplicate spec field %q", kv[0])
+		}
+		seen[kv[0]] = true
 		var err error
 		switch kv[0] {
 		case "n":
@@ -151,18 +163,13 @@ func (s Spec) validate() error {
 	case s.Policy != PolBiased && s.Bias != 0:
 		return fmt.Errorf("explore: policy %q does not take a bias", s.Policy)
 	}
-	if s.Policy == PolBiased {
-		// The encoding renders the bias as %.2f; a bias that does not
-		// round-trip through it would make String() describe a different
-		// scenario than the one executed.
-		if s.Bias < 0 || s.Bias > 1 {
-			return fmt.Errorf("explore: bias %v outside [0,1]", s.Bias)
-		}
-		if r, err := strconv.ParseFloat(fmt.Sprintf("%.2f", s.Bias), 64); err != nil || r != s.Bias {
-			return fmt.Errorf("explore: bias %v does not round-trip through the %%.2f spec encoding", s.Bias)
-		}
+	// Negated-range form so NaN (which fails every comparison) is rejected
+	// too — ParseFloat accepts "NaN" and a NaN bias would silently degenerate
+	// the biased policy.
+	if s.Policy == PolBiased && !(s.Bias >= 0 && s.Bias <= 1) {
+		return fmt.Errorf("explore: bias %v outside [0,1]", s.Bias)
 	}
-	for _, c := range s.Crashes {
+	for i, c := range s.Crashes {
 		if c.Proc < 0 || c.Proc >= s.N {
 			return fmt.Errorf("explore: crash names process %d of %d", c.Proc, s.N)
 		}
@@ -171,6 +178,21 @@ func (s Spec) validate() error {
 		// scenario to the weaker crash-run oracle set.
 		if c.Step < 1 || c.Step >= s.Steps {
 			return fmt.Errorf("explore: crash step %d outside [1,%d]", c.Step, s.Steps-1)
+		}
+		// The schedule must be in the canonical step-then-process order the
+		// generator and the mutators emit (ties broken by process), with each
+		// process crashing at most once — an out-of-order or duplicated
+		// schedule would make two spec strings name one execution.
+		if i > 0 {
+			prev := s.Crashes[i-1]
+			if c.Step < prev.Step || (c.Step == prev.Step && c.Proc <= prev.Proc) {
+				return fmt.Errorf("explore: crash schedule not in canonical step-then-process order at %d@%d", c.Proc, c.Step)
+			}
+		}
+		for _, earlier := range s.Crashes[:i] {
+			if earlier.Proc == c.Proc {
+				return fmt.Errorf("explore: process %d crashes twice", c.Proc)
+			}
 		}
 	}
 	return nil
