@@ -1,14 +1,27 @@
 // Command drvexplore fuzzes the monitoring stack beyond Table 1's curated
 // executions: it generates seeded random scenarios — random schedules,
-// random crash schedules, random labelled adversary behaviours — runs the
-// corresponding monitors, and differentially checks every verdict stream
-// against the ground-truth oracles. Divergent scenarios are shrunk to
-// minimal reproducers and reported as one-line seed specs.
+// random crash schedules, random behaviours — runs the corresponding
+// monitors, and differentially checks every verdict stream against the
+// ground-truth oracles. Divergent scenarios are shrunk to minimal
+// reproducers and reported as one-line seed specs.
+//
+// Two scenario families exist. The language family (-family lang, the
+// default) replays labelled adversary sources for the seven Table 1
+// languages. The object family (-family obj) runs the real concurrent
+// implementations of internal/sut — queues, stacks, registers, counters,
+// ledgers, in correct and seeded-bug variants — under random workloads
+// through the timed adversary and the Figure 8 predictive monitor, and
+// judges the exhibited histories with the internal/check oracles (and, on
+// small histories, the brute-force reference checkers). Schedules that
+// expose a seeded bug are reported (and shrunk) as bug findings; they
+// exit 0 — finding them is the point — while stack divergences exit 1.
 //
 // With -corpus the sweep is coverage-guided: a directory of one-line seed
 // specs is loaded, a -mutate-frac share of the budget mutates those seeds
 // instead of drawing fresh random specs, and scenarios that reach a novel
-// coverage signature are saved back as new seeds.
+// coverage signature are saved back as new seeds. Corpus entries keep their
+// family and object even when the -family/-obj/-impl filters would not
+// generate them fresh, so keep corpora per family.
 //
 // The sweep is deterministic: the same flags (including the same corpus
 // contents) produce a byte-identical report (and -out file) for every
@@ -16,11 +29,13 @@
 //
 // Usage:
 //
-//	drvexplore [-seeds k] [-master m] [-j workers] [-lang L1,L2] [-crashes c]
+//	drvexplore [-seeds k] [-master m] [-j workers] [-family lang,obj]
+//	           [-lang L1,L2] [-obj O1,O2] [-impl I1,I2] [-crashes c]
 //	           [-max-steps s] [-pool] [-replay-check] [-no-shrink] [-progress]
 //	           [-corpus dir] [-mutate-frac f] [-corpus-save]
 //	           [-out seeds.json] [-cpuprofile f]
 //	drvexplore -replay "drv1:WEC_COUNT/exact:n=3:seed=7:pol=random:steps=2600"
+//	drvexplore -replay "drv2:obj/queue/lifo:n=2:seed=7:pol=random:steps=900:ops=4:mb=0.5"
 package main
 
 import (
@@ -32,6 +47,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"slices"
 	"sort"
 	"strings"
 
@@ -50,7 +66,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var workers int
 	fs.IntVar(&workers, "j", runtime.NumCPU(), "worker-pool size; 1 runs scenarios sequentially")
 	fs.IntVar(&workers, "parallel", runtime.NumCPU(), "alias for -j")
+	family := fs.String("family", "", "comma-separated scenario families: lang, obj (default: lang)")
 	langs := fs.String("lang", "", "comma-separated language filter (default: all seven)")
+	objects := fs.String("obj", "", "comma-separated object filter for -family obj (default: all)")
+	impls := fs.String("impl", "", "comma-separated implementation filter for -family obj (default: all)")
 	crashes := fs.Int("crashes", 2, "max crashes per scenario (0 disables crash injection)")
 	maxSteps := fs.Int("max-steps", 0, "cap on a scenario's scheduler step bound (0 = family defaults)")
 	replayCheck := fs.Bool("replay-check", false, "re-execute every scenario and flag digest mismatches (doubles the work)")
@@ -98,8 +117,28 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Unpooled:   !*pool,
 		MutateFrac: *mutateFrac,
 	}
+	if *family != "" {
+		opts.Gen.Families = strings.Split(*family, ",")
+	}
+	if *objects != "" || *impls != "" {
+		// The object filters only shape object-family scenarios: bare
+		// -obj/-impl implies -family obj, and an explicit family set that
+		// omits obj would silently ignore them — a usage error.
+		if *family == "" {
+			opts.Gen.Families = []string{explore.FamObj}
+		} else if !slices.Contains(opts.Gen.Families, explore.FamObj) {
+			fmt.Fprintf(stderr, "drvexplore: -obj/-impl need the obj family (got -family %s)\n", *family)
+			return 2
+		}
+	}
 	if *langs != "" {
 		opts.Gen.Langs = strings.Split(*langs, ",")
+	}
+	if *objects != "" {
+		opts.Gen.Objects = strings.Split(*objects, ",")
+	}
+	if *impls != "" {
+		opts.Gen.Impls = strings.Split(*impls, ",")
 	}
 	if *corpusDir != "" {
 		corpus, err := explore.LoadCorpus(*corpusDir)
@@ -137,6 +176,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintf(stdout, "checks run: %s\n", countList(rep.Checks))
 	fmt.Fprintf(stdout, "checks skipped: %s\n", countList(rep.Skipped))
+	if len(rep.ByObject) > 0 {
+		fmt.Fprintf(stdout, "objects: %s\n", countList(rep.ByObject))
+		fmt.Fprintf(stdout, "bugs: %d scenario(s) exposed bugs in %d implementation(s)\n",
+			rep.BugScenarios, len(rep.Bugs))
+		for _, b := range rep.Bugs {
+			fmt.Fprintf(stdout, "\nBUG %s/%s (%d scenario(s)) %s\n", b.Object, b.Impl, b.Count, b.Spec)
+			for _, d := range b.Failures {
+				fmt.Fprintf(stdout, "  %-14s %s\n", d.Check+":", d.Detail)
+			}
+			if b.Shrunk != "" {
+				fmt.Fprintf(stdout, "  shrunk to %s (%d steps)\n", b.Shrunk, b.ShrunkSteps)
+				for _, d := range b.ShrunkFailures {
+					fmt.Fprintf(stdout, "    %-12s %s\n", d.Check+":", d.Detail)
+				}
+			}
+		}
+	}
 	for _, f := range rep.Failures {
 		fmt.Fprintf(stdout, "\nDIVERGENCE %s\n", f.Spec)
 		for _, d := range f.Divergences {
@@ -199,9 +255,18 @@ func replayOne(specLine string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintf(stdout, "spec:     %s\n", out.Spec)
 	fmt.Fprintf(stdout, "monitor:  %s\n", out.Monitor)
-	fmt.Fprintf(stdout, "label:    in-language=%v\n", out.Label)
+	if out.Spec.Fam() == explore.FamObj {
+		fmt.Fprintf(stdout, "label:    correct-impl=%v\n", out.Label)
+	} else {
+		fmt.Fprintf(stdout, "label:    in-language=%v\n", out.Label)
+	}
 	fmt.Fprintf(stdout, "steps:    %d\nverdicts: %d (%d NO)\ndigest:   %s\n", out.Steps, out.Verdicts, out.NOs, out.Digest)
 	fmt.Fprintf(stdout, "checks:   ran %s; skipped %s\n", strings.Join(out.Ran, ","), strings.Join(out.Skipped, ","))
+	// Exposed implementation bugs are findings about the system under test,
+	// not failures of the monitoring stack: report them, exit 0.
+	for _, d := range out.OracleFailures {
+		fmt.Fprintf(stdout, "BUG %-14s %s\n", d.Check+":", d.Detail)
+	}
 	if len(out.Divergences) == 0 {
 		fmt.Fprintln(stdout, "no divergences")
 		return 0

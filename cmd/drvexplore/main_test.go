@@ -290,6 +290,144 @@ func TestCorpusBadDirRejected(t *testing.T) {
 	}
 }
 
+func TestObjFamilySweep(t *testing.T) {
+	// An object-family sweep over the seeded-bug implementations must find
+	// bugs (reported on stdout with shrunk reproducers), stay free of stack
+	// divergences, and exit 0 — bug findings are the product, not an error.
+	code, out, errOut := runExplore(t, "-j", "2", "-family", "obj", "-seeds", "60")
+	if code != 0 {
+		t.Fatalf("exit %d, stdout:\n%s\nstderr:\n%s", code, out, errOut)
+	}
+	for _, want := range []string{"objects: ", "bugs: ", "BUG ", "shrunk to drv2:obj/", "no divergences"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("object sweep output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestObjFamilyDeterministicAcrossWorkersAndPooling(t *testing.T) {
+	// The new family rides the same byte-determinism contract: -family obj
+	// reports are identical across -j 1/-j 4 and -pool/-pool=false.
+	dir := t.TempDir()
+	var files, outs []string
+	for _, cfg := range [][]string{
+		{"-j", "1", "-pool=true"},
+		{"-j", "4", "-pool=true"},
+		{"-j", "4", "-pool=false"},
+	} {
+		f := filepath.Join(dir, "obj"+strings.Join(cfg, "")+".json")
+		args := append([]string{"-family", "obj", "-obj", "queue,stack,ledger"}, cfg...)
+		code, out, errOut := runExplore(t, append(args, "-out", f)...)
+		if code != 0 {
+			t.Fatalf("%v: exit %d, stderr:\n%s", cfg, code, errOut)
+		}
+		files = append(files, f)
+		outs = append(outs, out)
+	}
+	first, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(first), "drv2:obj/") {
+		t.Fatalf("object sweep report contains no object specs:\n%s", first)
+	}
+	for i := 1; i < len(files); i++ {
+		js, err := os.ReadFile(files[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first, js) {
+			t.Errorf("object report %d differs from the -j 1 report", i)
+		}
+		if outs[i] != outs[0] {
+			t.Errorf("object stdout %d differs from the -j 1 stdout", i)
+		}
+	}
+}
+
+func TestObjFamilyFilters(t *testing.T) {
+	dir := t.TempDir()
+	f := filepath.Join(dir, "obj.json")
+	code, _, errOut := runExplore(t, "-family", "obj", "-obj", "queue", "-impl", "lifo", "-out", f)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, errOut)
+	}
+	js, err := os.ReadFile(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(js), "drv2:obj/queue/lifo") {
+		t.Errorf("filtered sweep never ran queue/lifo:\n%s", js)
+	}
+	for _, other := range []string{"obj/stack", "obj/register", "obj/counter", "obj/ledger", "queue/lock"} {
+		if strings.Contains(string(js), other) {
+			t.Errorf("filtered sweep ran %s:\n%s", other, js)
+		}
+	}
+	// Unknown families, objects and implementations are usage errors, as is
+	// an explicit family set that would silently ignore the object filters.
+	for _, args := range [][]string{
+		{"-family", "nope"},
+		{"-family", "obj", "-obj", "deque"},
+		{"-family", "obj", "-impl", "no-such"},
+		{"-family", "lang", "-obj", "queue"},
+		{"-family", "lang", "-impl", "lifo"},
+	} {
+		if code, _, _ := runExplore(t, args...); code != 2 {
+			t.Errorf("%v exited %d, want 2", args, code)
+		}
+	}
+
+	// Bare -obj/-impl imply the object family instead of being ignored.
+	code, out, errOut := runExplore(t, "-obj", "queue", "-impl", "lifo")
+	if code != 0 {
+		t.Fatalf("bare -obj/-impl exited %d, stderr:\n%s", code, errOut)
+	}
+	if !strings.Contains(out, "objects: queue/lifo=") {
+		t.Errorf("bare -obj/-impl did not run the object family:\n%s", out)
+	}
+}
+
+func TestObjReplaySpec(t *testing.T) {
+	// Replaying an object spec that exposes a seeded bug prints the finding
+	// and exits 0: the bug is in the SUT, not in the stack.
+	var stdout, stderr bytes.Buffer
+	spec := "drv2:obj/register/split:n=2:seed=30:pol=random:steps=400:ops=2:mb=0.5"
+	code := run([]string{"-replay", spec}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("replay exited %d, stderr:\n%s", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{spec, "BUG lin", "no divergences"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("object replay output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLegacyDrv1CorpusStillLoads(t *testing.T) {
+	// Regression for the drv1→drv2 version bump: a corpus written before the
+	// object family existed must load and sweep unchanged — including the
+	// committed repository corpus, which deliberately stays in drv1 form.
+	dir := t.TempDir()
+	legacy := `# a pre-drv2 corpus file
+# sig: c1:WEC_COUNT/out|vs=3n2200|ck=r-rr-rr|cu=2
+drv1:WEC_COUNT/own-inc-violation:n=3:seed=5116376774559743294:pol=random:steps=5044
+drv1:LIN_REG/atomic:n=3:seed=7:pol=bursty:steps=500:crash=1@120
+drv1:SEC_COUNT/over-read:n=2:seed=7:pol=biased/0.60:steps=2100
+`
+	if err := os.WriteFile(filepath.Join(dir, "legacy.seed"), []byte(legacy), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out, errOut := runExplore(t, "-corpus", dir, "-corpus-save=false")
+	if code != 0 {
+		t.Fatalf("legacy corpus sweep exited %d, stdout:\n%s\nstderr:\n%s", code, out, errOut)
+	}
+	if !strings.Contains(out, "from 3 corpus seeds") {
+		t.Errorf("legacy corpus entries were not all loaded:\n%s", out)
+	}
+}
+
 func TestHelpExitsZero(t *testing.T) {
 	var stdout, stderr bytes.Buffer
 	if code := run([]string{"-h"}, &stdout, &stderr); code != 0 {

@@ -41,7 +41,13 @@
 //     signature) feeds seeded spec mutators, and each round splits its
 //     budget between fresh random specs and mutations of corpus entries —
 //     drvexplore -corpus/-mutate-frac — while staying byte-deterministic in
-//     the master seed and independent of the worker count.
+//     the master seed and independent of the worker count. A second scenario
+//     family (drvexplore -family obj, the drv2 seed-spec grammar; drv1 specs
+//     still parse) explores the real internal/sut implementations under
+//     random workloads and crashes through Aτ and the Figure 8 monitor,
+//     splitting oracle outcomes into divergences (guaranteed properties
+//     violated) and shrunk bug findings (seeded bugs exposed); its corpus
+//     lives under testdata/corpus-obj.
 //
 // The cmd directory holds the reproduction tools (drvtable, drvtrace,
 // drvmon, drvsketch, drvexplore); examples holds five runnable

@@ -42,6 +42,21 @@ const (
 	CheckClass = "class"
 	// CheckReplay: re-executing the spec must reproduce the digest.
 	CheckReplay = "replay"
+
+	// Object-family checks (see sutrun.go):
+	//
+	// CheckOracle: every property the implementation guarantees must hold on
+	// the exhibited history (violations of non-guaranteed properties are
+	// OracleFailures — planted bugs found, not divergences).
+	CheckOracle = "oracle"
+	// CheckBrute: the memoized frontSearch checkers must agree with the
+	// exhaustive brute-force reference on small histories.
+	CheckBrute = "brute"
+	// CheckMonitorLin: V_O's verdict stream against the offline
+	// linearizability oracle — no NO on a linearizable history, and (modulo
+	// the predictive sketch escape) some NO when the drained crash-free
+	// history and its sketch both violate.
+	CheckMonitorLin = "monitor-lin"
 )
 
 // Divergence is one failed differential check.
@@ -89,15 +104,7 @@ func runChecks(out *Outcome, l lang.Lang, lb adversary.Labeled, fam family, res 
 
 	if crashed {
 		out.ran(CheckCrashQuiet)
-		for _, c := range s.Crashes {
-			for k, step := range res.StepAt[c.Proc] {
-				if step > c.Step {
-					out.diverge(CheckCrashQuiet,
-						"process %d crashed at step %d but reported verdict %d at step %d", c.Proc, c.Step, k, step)
-					break
-				}
-			}
-		}
+		checkCrashQuiet(out, res)
 	}
 
 	// The label-based oracles quantify over the source's ω-word; crashes
@@ -121,6 +128,20 @@ func runChecks(out *Outcome, l lang.Lang, lb adversary.Labeled, fam family, res 
 	}
 
 	checkClass(out, l, lb, fam, res, tau)
+}
+
+// checkCrashQuiet asserts a crashed process reports no verdict after its
+// crash step; shared by both scenario families.
+func checkCrashQuiet(out *Outcome, res *monitor.Result) {
+	for _, c := range out.Spec.Crashes {
+		for k, step := range res.StepAt[c.Proc] {
+			if step > c.Step {
+				out.diverge(CheckCrashQuiet,
+					"process %d crashed at step %d but reported verdict %d at step %d", c.Proc, c.Step, k, step)
+				break
+			}
+		}
+	}
 }
 
 // checkSourcePrefix re-generates the source and compares the exhibited

@@ -49,6 +49,41 @@ func TestRegenerateSeedCorpus(t *testing.T) {
 	}
 }
 
+// TestRegenerateObjSeedCorpus rebuilds the committed object-family seed
+// corpus (testdata/corpus-obj); normally skipped. The object corpus lives in
+// its own directory: corpus entries keep their family under mutation, so
+// mixing the families in one corpus would leak object scenarios into
+// language sweeps (and vice versa). Regenerate with:
+//
+//	EXPLORE_OBJ_CORPUS_OUT=testdata/corpus-obj go test -run TestRegenerateObjSeedCorpus -v ./internal/explore
+func TestRegenerateObjSeedCorpus(t *testing.T) {
+	dir := os.Getenv("EXPLORE_OBJ_CORPUS_OUT")
+	if dir == "" {
+		t.Skip("set EXPLORE_OBJ_CORPUS_OUT=testdata/corpus-obj to regenerate the committed object corpus")
+	}
+	c, err := LoadCorpus(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Explore(Options{
+		Master: 2077, Scenarios: 900, Workers: runtime.NumCPU(),
+		Gen:    GenConfig{Families: []string{FamObj}, MaxCrashes: 2},
+		Corpus: c, MutateFrac: 0.4, Round: 50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := c.SaveNew(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("coverage %d over %d scenarios (%d mutated, %d bug scenarios); saved %d new seeds to %s",
+		rep.Coverage, rep.Scenarios, rep.Mutated, rep.BugScenarios, n, dir)
+	for _, f := range rep.Failures {
+		t.Errorf("divergence while regenerating: %s %v", f.Spec, f.Divergences)
+	}
+}
+
 func mustSpec(t *testing.T, line string) Spec {
 	t.Helper()
 	s, err := ParseSpec(line)

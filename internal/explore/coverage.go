@@ -94,27 +94,13 @@ func signatureOf(o *Outcome, res *monitor.Result) string {
 		b.WriteString(strings.Join(cxs, ","))
 	}
 
-	// Per-check ran/skipped vector in CheckNames order: r ran, s skipped,
-	// - not applicable this run.
+	// Per-check ran/skipped vector in langCheckNames order: r ran, s
+	// skipped, - not applicable this run. The vector is pinned to the
+	// language family's own check list — folding the union of both
+	// families' checks here would shift every signature (and invalidate
+	// every committed corpus entry) each time a family gains a check.
 	b.WriteString("|ck=")
-	ran := map[string]bool{}
-	for _, c := range o.Ran {
-		ran[c] = true
-	}
-	skipped := map[string]bool{}
-	for _, c := range o.Skipped {
-		skipped[c] = true
-	}
-	for _, name := range CheckNames() {
-		switch {
-		case ran[name]:
-			b.WriteByte('r')
-		case skipped[name]:
-			b.WriteByte('s')
-		default:
-			b.WriteByte('-')
-		}
-	}
+	writeCheckVector(&b, o, langCheckNames())
 
 	// Adversary cursor stats: the gate backlog the schedule left behind
 	// (capped bucket) and whether the source script ended. The emitted depth
@@ -128,24 +114,132 @@ func signatureOf(o *Outcome, res *monitor.Result) string {
 
 	// Divergences are the rarest shape of all: fold the distinct failed
 	// check names so each divergence kind is its own class.
-	if len(o.Divergences) > 0 {
-		b.WriteString("|dv=")
-		names := map[string]bool{}
-		for _, d := range o.Divergences {
-			names[d.Check] = true
+	writeNameFold(&b, "|dv=", o.Divergences, langCheckNames())
+	return b.String()
+}
+
+// writeCheckVector renders the per-check ran/skipped vector over the given
+// name list: r ran, s skipped, - not applicable this run.
+func writeCheckVector(b *strings.Builder, o *Outcome, names []string) {
+	ran := map[string]bool{}
+	for _, c := range o.Ran {
+		ran[c] = true
+	}
+	skipped := map[string]bool{}
+	for _, c := range o.Skipped {
+		skipped[c] = true
+	}
+	for _, name := range names {
+		switch {
+		case ran[name]:
+			b.WriteByte('r')
+		case skipped[name]:
+			b.WriteByte('s')
+		default:
+			b.WriteByte('-')
 		}
-		first := true
-		for _, name := range CheckNames() {
-			if names[name] {
-				if !first {
-					b.WriteByte(',')
-				}
-				b.WriteString(name)
-				first = false
+	}
+}
+
+// writeNameFold folds the distinct Check names of the findings, in the
+// given order, under the axis prefix — each finding kind becomes its own
+// coverage class. Shared by the divergence and oracle-failure axes.
+func writeNameFold(b *strings.Builder, prefix string, findings []Divergence, order []string) {
+	if len(findings) == 0 {
+		return
+	}
+	b.WriteString(prefix)
+	names := map[string]bool{}
+	for _, d := range findings {
+		names[d.Check] = true
+	}
+	first := true
+	for _, name := range order {
+		if names[name] {
+			if !first {
+				b.WriteByte(',')
+			}
+			b.WriteString(name)
+			first = false
+		}
+	}
+}
+
+// objSignature is the object family's coverage signature: the same
+// granularity philosophy as signatureOf, with the family/object/impl triple
+// anchoring the class and a workload axis replacing the cursor axis (object
+// runs have no word cursor). Failed oracles fold like divergences — a spec
+// whose schedule exposes a planted bug is a coverage class of its own, which
+// is what steers the guided explorer toward bug-adjacent schedules.
+func objSignature(o *Outcome, res *monitor.Result) string {
+	var b strings.Builder
+	b.WriteString(sigVersion)
+	b.WriteByte(':')
+	b.WriteString(FamObj)
+	b.WriteByte('/')
+	b.WriteString(o.Spec.Object)
+	b.WriteByte('/')
+	b.WriteString(o.Spec.Impl)
+
+	firstNO, tailNO, silent, flips := 0, 0, 0, 0
+	for p := range res.Verdicts {
+		vs := res.Verdicts[p]
+		if len(vs) == 0 {
+			silent++
+			continue
+		}
+		if vs[0] == monitor.No {
+			firstNO++
+		}
+		if res.NOInTail(p, evalWindow) {
+			tailNO++
+		}
+		for k := 1; k < len(vs); k++ {
+			if vs[k] != vs[k-1] {
+				flips++
 			}
 		}
 	}
+	b.WriteString("|vs=")
+	b.WriteString(strconv.Itoa(len(res.Verdicts)))
+	b.WriteByte('n')
+	b.WriteString(strconv.Itoa(capBucket(firstNO, 2)))
+	b.WriteString(strconv.Itoa(capBucket(tailNO, 2)))
+	b.WriteString(strconv.Itoa(capBucket(silent, 2)))
+	b.WriteString(strconv.Itoa(capBucket(log2Bucket(flips), 3)))
+
+	if len(o.Spec.Crashes) > 0 {
+		cxs := make([]string, 0, len(o.Spec.Crashes))
+		for _, c := range o.Spec.Crashes {
+			cxs = append(cxs, strconv.Itoa(quarter(c.Step, o.Spec.Steps))+crashPhase(c, res.StepAt[c.Proc]))
+		}
+		sort.Strings(cxs)
+		b.WriteString("|cx=")
+		b.WriteString(strings.Join(cxs, ","))
+	}
+
+	b.WriteString("|ck=")
+	writeCheckVector(&b, o, ObjCheckNames())
+
+	// Workload axis: the per-process operation budget (log₂ bucket) and
+	// whether the run drained its workload or was cut by the step bound —
+	// the boundary the crash/spinlock interactions live on, and the same
+	// signal that gates the monitor-lin completeness oracle.
+	b.WriteString("|wl=")
+	b.WriteString(strconv.Itoa(capBucket(log2Bucket(o.Spec.OpsPerProc), 4)))
+	if !res.Drained {
+		b.WriteByte('t') // truncated at the step bound
+	}
+
+	// Exposed planted bugs fold by oracle name, divergences by check name.
+	writeNameFold(&b, "|bug=", o.OracleFailures, oracleNames())
+	writeNameFold(&b, "|dv=", o.Divergences, ObjCheckNames())
 	return b.String()
+}
+
+// oracleNames lists the oracle labels in deterministic fold order.
+func oracleNames() []string {
+	return []string{OracleLin, OracleSC, OracleSECSafety, OracleECSafety}
 }
 
 // log2Bucket maps a non-negative count onto 0, 1, 2, ... by bit length:

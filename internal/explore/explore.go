@@ -26,9 +26,23 @@
 // between rounds, so a guided sweep stays byte-deterministic in the master
 // seed and independent of the worker count, exactly like a blind one.
 //
+// A second scenario family — the object family, spec grammar drv2 — swaps
+// the scripted adversary for the real concurrent implementations of package
+// sut: each scenario runs a correct or seeded-bug implementation (queue,
+// stack, register, counter, ledger) under a seeded random workload through
+// the timed adversary Aτ and the Figure 8 predictive monitor, judges the
+// exhibited history with the matching check oracle (differentially against
+// the brute-force reference on small histories) and the verdict stream
+// against the offline oracle under the predictive sketch escape. Violations
+// of properties the implementation guarantees are divergences; violations
+// of properties a seeded-bug implementation forfeits are bug findings,
+// shrunk to minimal reproducers and summarized per implementation in the
+// report (see sutrun.go).
+//
 // cmd/drvexplore is the command-line front end; corpus_test.go pins a
-// regression corpus of interesting specs, and testdata/corpus holds the
-// committed seed corpus guided runs start from.
+// regression corpus of interesting specs, and testdata/corpus
+// (language family) and testdata/corpus-obj (object family) hold the
+// committed seed corpora guided runs start from.
 package explore
 
 import (
@@ -118,8 +132,12 @@ type Report struct {
 	// Skipped counts checks that did not apply (crashed runs skip label
 	// checks, short runs skip tail proxies).
 	Skipped map[string]int `json:"skipped"`
-	// ByLang counts scenarios per language.
+	// ByLang counts scenarios per language (language family).
 	ByLang map[string]int `json:"by_lang"`
+	// ByObject counts scenarios per object/impl pair (object family); nil
+	// when the sweep ran no object scenarios, so language-only reports keep
+	// their exact shape.
+	ByObject map[string]int `json:"by_object,omitempty"`
 	// Crashed counts scenarios that included at least one crash.
 	Crashed int `json:"crashed"`
 	// TotalSteps and TotalVerdicts aggregate the executions (replay runs
@@ -136,6 +154,35 @@ type Report struct {
 	// how many novel-signature specs the sweep added to it.
 	CorpusSeeds int `json:"corpus_seeds,omitempty"`
 	CorpusNew   int `json:"corpus_new,omitempty"`
+	// BugScenarios counts object scenarios whose schedule exposed a planted
+	// implementation bug (an oracle failure on a non-guaranteed property).
+	BugScenarios int `json:"bug_scenarios,omitempty"`
+	// Bugs summarizes the exposed implementation bugs, one entry per
+	// object/impl pair in first-hit scenario order, each with a shrunk
+	// reproducer when shrinking is on.
+	Bugs []Bug `json:"bugs,omitempty"`
+}
+
+// Bug is one exposed implementation bug: the first scenario that tripped an
+// oracle the implementation does not guarantee, minimized to a small
+// reproducer. Where a Failure indicts the monitoring stack, a Bug indicts
+// the system under test — finding these is what the object family is for.
+type Bug struct {
+	// Object and Impl name the registry entry (e.g. "queue", "lifo").
+	Object string `json:"object"`
+	Impl   string `json:"impl"`
+	// Spec is the first scenario that exposed the bug.
+	Spec string `json:"spec"`
+	// Failures are the violated oracles of that scenario.
+	Failures []Divergence `json:"failures"`
+	// Count is how many scenarios of the sweep exposed this impl's bug.
+	Count int `json:"count"`
+	// Shrunk is the minimized reproducer ("" when shrinking was off or
+	// failed to reproduce); ShrunkSteps its scheduler bound and
+	// ShrunkFailures the oracles it still violates.
+	Shrunk         string       `json:"shrunk,omitempty"`
+	ShrunkSteps    int          `json:"shrunk_steps,omitempty"`
+	ShrunkFailures []Divergence `json:"shrunk_failures,omitempty"`
 }
 
 // Divergent reports whether the exploration found any divergence.
@@ -269,7 +316,14 @@ func Explore(opts Options) (*Report, error) {
 				return nil, fmt.Errorf("explore: scenario %d (%s): %w", i, specs[i], errs[i])
 			}
 			out := outcomes[i]
-			rep.ByLang[out.Spec.Lang]++
+			if out.Spec.Fam() == FamObj {
+				if rep.ByObject == nil {
+					rep.ByObject = map[string]int{}
+				}
+				rep.ByObject[out.Spec.Object+"/"+out.Spec.Impl]++
+			} else {
+				rep.ByLang[out.Spec.Lang]++
+			}
 			if len(out.Spec.Crashes) > 0 {
 				rep.Crashed++
 			}
@@ -287,6 +341,10 @@ func Explore(opts Options) (*Report, error) {
 				if opts.Corpus != nil && !opts.Corpus.HasSig(out.Signature) {
 					opts.Corpus.Add(out.Spec, out.Signature)
 				}
+			}
+			if len(out.OracleFailures) > 0 {
+				rep.BugScenarios++
+				rep.foldBug(out, runners[0], opts)
 			}
 			if len(out.Divergences) == 0 {
 				continue
@@ -309,12 +367,72 @@ func Explore(opts Options) (*Report, error) {
 	return rep, nil
 }
 
-// CheckNames returns the names of every differential check the explorer can
-// run, sorted; reports index their Checks/Skipped maps by these.
-func CheckNames() []string {
+// foldBug accounts one bug-exposing object scenario: the first hit per
+// object/impl pair becomes a Bug entry (shrunk to a minimal reproducer when
+// shrinking is on — one shrink per impl, so a sweep saturated with findings
+// stays cheap), later hits only bump its count. Called in scenario-index
+// order, so the Bugs list is as worker-count-independent as the rest of the
+// report.
+func (r *Report) foldBug(out *Outcome, runner Runner, opts Options) {
+	for i := range r.Bugs {
+		if r.Bugs[i].Object == out.Spec.Object && r.Bugs[i].Impl == out.Spec.Impl {
+			r.Bugs[i].Count++
+			return
+		}
+	}
+	b := Bug{
+		Object:   out.Spec.Object,
+		Impl:     out.Spec.Impl,
+		Spec:     out.Spec.String(),
+		Failures: out.OracleFailures,
+		Count:    1,
+	}
+	if opts.Shrink {
+		shrunk, still := ShrinkBugSpec(out.Spec, runner, opts.ShrinkBudget)
+		if len(still) > 0 {
+			b.Shrunk = shrunk.String()
+			b.ShrunkSteps = shrunk.Steps
+			b.ShrunkFailures = still
+		}
+	}
+	r.Bugs = append(r.Bugs, b)
+}
+
+// langCheckNames returns the language family's differential checks, sorted.
+// The coverage signature's check vector folds over exactly this list, so it
+// must never change shape when other families gain checks — a longer vector
+// would re-classify every committed corpus entry.
+func langCheckNames() []string {
 	names := []string{
 		CheckWellFormed, CheckSourcePrefix, CheckOwnSafety, CheckCrashQuiet,
 		CheckLabelSafety, CheckClass, CheckReplay,
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ObjCheckNames returns the object family's differential checks, sorted;
+// the object coverage signature's check vector folds over this list.
+func ObjCheckNames() []string {
+	names := []string{
+		CheckWellFormed, CheckCrashQuiet, CheckOracle, CheckBrute,
+		CheckMonitorLin, CheckReplay,
+	}
+	sort.Strings(names)
+	return names
+}
+
+// CheckNames returns the names of every differential check the explorer can
+// run across both scenario families, sorted and deduplicated; reports index
+// their Checks/Skipped maps by these.
+func CheckNames() []string {
+	seen := map[string]bool{}
+	var names []string
+	for _, name := range append(langCheckNames(), ObjCheckNames()...) {
+		if !seen[name] {
+			seen[name] = true
+			names = append(names, name)
+		}
 	}
 	sort.Strings(names)
 	return names

@@ -10,9 +10,19 @@ import (
 
 // GenConfig constrains random scenario generation.
 type GenConfig struct {
-	// Langs restricts scenarios to these language names; empty means all
-	// seven Table 1 languages.
+	// Families restricts scenarios to these scenario families (FamLang,
+	// FamObj); empty means the language family alone, which keeps every
+	// pre-drv2 sweep byte-identical.
+	Families []string
+	// Langs restricts language scenarios to these language names; empty
+	// means all seven Table 1 languages.
 	Langs []string
+	// Objects restricts object scenarios to these object names; empty means
+	// every registered object.
+	Objects []string
+	// Impls restricts object scenarios to these implementation slugs; empty
+	// means every implementation of the drawn object.
+	Impls []string
 	// MaxCrashes bounds the crash count per scenario (further capped at
 	// n−1: the paper's fault model keeps at least one process alive).
 	MaxCrashes int
@@ -26,17 +36,87 @@ type GenConfig struct {
 	CrashProb float64
 }
 
-// validate checks the config against the known language set.
+// families resolves the family set, defaulting to the language family.
+func (g GenConfig) families() []string {
+	if len(g.Families) == 0 {
+		return []string{FamLang}
+	}
+	return g.Families
+}
+
+// validate checks the config against the known language, family and object
+// sets.
 func (g GenConfig) validate() error {
+	for _, fam := range g.Families {
+		if fam != FamLang && fam != FamObj {
+			return fmt.Errorf("explore: unknown scenario family %q", fam)
+		}
+	}
 	for _, name := range g.Langs {
 		if _, err := langByName(name); err != nil {
 			return err
+		}
+	}
+	for _, name := range g.Objects {
+		if ImplsOf(name) == nil {
+			return fmt.Errorf("explore: unknown object %q", name)
+		}
+	}
+	for _, impl := range g.Impls {
+		found := false
+		for _, object := range g.objects() {
+			for _, have := range ImplsOf(object) {
+				if have == impl {
+					found = true
+				}
+			}
+		}
+		if !found {
+			return fmt.Errorf("explore: no selected object has an implementation %q", impl)
 		}
 	}
 	if g.MaxCrashes < 0 {
 		return fmt.Errorf("explore: negative MaxCrashes %d", g.MaxCrashes)
 	}
 	return nil
+}
+
+// objects resolves the object set, defaulting to the whole registry.
+func (g GenConfig) objects() []string {
+	if len(g.Objects) == 0 {
+		return Objects()
+	}
+	return g.Objects
+}
+
+// implsFor returns the object's implementation slugs allowed by the config's
+// Impls filter (all of them when the filter is empty), in registry order.
+func (g GenConfig) implsFor(object string) []string {
+	all := ImplsOf(object)
+	if len(g.Impls) == 0 {
+		return all
+	}
+	var keep []string
+	for _, name := range all {
+		for _, want := range g.Impls {
+			if name == want {
+				keep = append(keep, name)
+			}
+		}
+	}
+	return keep
+}
+
+// drawableObjects returns the objects that still have at least one allowed
+// implementation under the filters.
+func (g GenConfig) drawableObjects() []string {
+	var keep []string
+	for _, object := range g.objects() {
+		if len(g.implsFor(object)) > 0 {
+			keep = append(keep, object)
+		}
+	}
+	return keep
 }
 
 func langByName(name string) (lang.Lang, error) {
@@ -76,8 +156,20 @@ func stepRange(fam family, langName string) (lo, hi int) {
 // same (master, index, cfg) triple always yields the same spec, and distinct
 // indices draw from independent random streams, so a sweep's scenario list
 // does not depend on worker count or on how many scenarios run.
+//
+// With the default (language-only) family set the draw sequence is exactly
+// the pre-drv2 one, so existing sweeps replay byte-for-byte; a multi-family
+// config spends one extra draw picking the family first.
 func NewSpec(master int64, index int, cfg GenConfig) Spec {
 	rng := rand.New(rand.NewSource(mix(master, int64(index))))
+	fams := cfg.families()
+	fam := fams[0]
+	if len(fams) > 1 {
+		fam = fams[rng.Intn(len(fams))]
+	}
+	if fam == FamObj {
+		return newObjSpec(rng, cfg)
+	}
 	names := cfg.Langs
 	if len(names) == 0 {
 		for _, l := range lang.All() {
@@ -119,6 +211,62 @@ func NewSpec(master int64, index int, cfg GenConfig) Spec {
 		s.Steps = cfg.MaxSteps
 	}
 
+	genCrashes(&s, rng, cfg)
+	return s
+}
+
+// objStepRange is the scheduler-step band object scenarios draw from. An
+// operation costs roughly a dozen steps through the full stack (impl shared-
+// memory steps, Aτ announce/snapshot, V_O publish/snapshot), so the ceiling
+// comfortably drains the largest workloads while the floor keeps truncated
+// runs — crashes parking a spinlock forever, schedules starving a process —
+// in the mix.
+func objStepRange() (lo, hi int) { return 160, 1600 }
+
+// newObjSpec draws one object-execution scenario from the rng.
+func newObjSpec(rng *rand.Rand, cfg GenConfig) Spec {
+	objects := cfg.drawableObjects()
+	object := objects[rng.Intn(len(objects))]
+	impls := cfg.implsFor(object)
+	s := Spec{
+		Family: FamObj,
+		Object: object,
+		Impl:   impls[rng.Intn(len(impls))],
+		N:      2 + rng.Intn(3), // 2..4 processes
+		Seed:   rng.Int63(),
+	}
+
+	// No word cursor exists to prioritize, so the cursor policy (which would
+	// degenerate to the random one) stays out of the draw; biased policies
+	// target no actor and act as a differently-seeded uniform draw, kept for
+	// schedule diversity under mutation.
+	switch rng.Intn(3) {
+	case 0:
+		s.Policy = PolRandom
+	case 1:
+		s.Policy = PolBursty
+	default:
+		s.Policy = PolBiased
+		s.Bias = float64(30+5*rng.Intn(11)) / 100 // 0.30..0.80
+	}
+
+	s.OpsPerProc = 1 + rng.Intn(8)          // 1..8 operations per process
+	s.MutBias = float64(2+rng.Intn(7)) / 10 // 0.2..0.8, exact decimals
+
+	lo, hi := objStepRange()
+	s.Steps = lo + rng.Intn(hi-lo+1)
+	if cfg.MaxSteps > 0 && s.Steps > cfg.MaxSteps {
+		s.Steps = cfg.MaxSteps
+	}
+
+	genCrashes(&s, rng, cfg)
+	return s
+}
+
+// genCrashes draws the crash schedule shared by both families: with
+// probability CrashProb, 1..MaxCrashes distinct processes crash at uniform
+// steps in [1, Steps−1], canonically ordered.
+func genCrashes(s *Spec, rng *rand.Rand, cfg GenConfig) {
 	maxCrashes := cfg.MaxCrashes
 	if maxCrashes > s.N-1 {
 		maxCrashes = s.N - 1
@@ -137,7 +285,6 @@ func NewSpec(master int64, index int, cfg GenConfig) Spec {
 		}
 		sortCrashes(s.Crashes)
 	}
-	return s
 }
 
 // sortCrashes orders the schedule by step then process, the canonical order

@@ -21,29 +21,56 @@ const (
 	mutateStepCap   = 8000
 )
 
+// langMutators is the language family's op list. Its length and order are
+// part of the replay contract: reordering it (or appending to it) would
+// shift every rng draw of every existing guided sweep.
+var langMutators = []func(*Spec, *rand.Rand, GenConfig) bool{
+	mutReseed,
+	mutPolicy,
+	mutBias,
+	mutSteps,
+	mutProcs,
+	mutSource,
+	mutCrashInsert,
+	mutCrashMove,
+	mutCrashDrop,
+}
+
+// objMutators is the object family's op list: the shared axes plus the
+// impl-swap and the workload perturbations, minus the source swap (object
+// scenarios have no labelled source).
+var objMutators = []func(*Spec, *rand.Rand, GenConfig) bool{
+	mutReseed,
+	mutPolicy,
+	mutBias,
+	mutSteps,
+	mutProcs,
+	mutImpl,
+	mutOps,
+	mutMutBias,
+	mutCrashInsert,
+	mutCrashMove,
+	mutCrashDrop,
+}
+
 // Mutate derives a child spec from a corpus parent: one primary mutation
 // plus a geometric tail of extras, re-canonicalized (crash order, bounds)
 // after each op. The child is always executable; if a mutation chain ever
 // produced an invalid spec it falls back to the parent, which parsed or
 // generated valid. cfg bounds what mutation may add — MaxCrashes gates
 // crash insertion, MaxSteps overrides the step cap — but a parent loaded
-// from disk is taken as-is even where it exceeds cfg.
+// from disk is taken as-is even where it exceeds cfg (in particular, a
+// parent keeps its family and object even when the config's filters would
+// not generate it fresh: corpus contents are the caller's choice).
 func Mutate(parent Spec, rng *rand.Rand, cfg GenConfig) Spec {
 	s := parent
 	// Own the crash schedule: ops append to it and canonicalize sorts and
 	// compacts it in place, which must never reach through the copied slice
 	// header into the corpus entry the parent came from.
 	s.Crashes = append([]Crash(nil), parent.Crashes...)
-	ops := []func(*Spec, *rand.Rand, GenConfig) bool{
-		mutReseed,
-		mutPolicy,
-		mutBias,
-		mutSteps,
-		mutProcs,
-		mutSource,
-		mutCrashInsert,
-		mutCrashMove,
-		mutCrashDrop,
+	ops := langMutators
+	if s.Fam() == FamObj {
+		ops = objMutators
 	}
 	mutated := false
 	for round := 0; round < 4; round++ {
@@ -93,10 +120,14 @@ func mutReseed(s *Spec, rng *rand.Rand, _ GenConfig) bool {
 
 // mutPolicy swaps the scheduling policy kind; a swap to biased draws a
 // fresh, unquantized bias. Redrawing the parent's own kind is only a
-// mutation for biased (the bias itself changed).
+// mutation for biased (the bias itself changed). Object scenarios skip the
+// cursor kind — with no word cursor it degenerates to the random policy.
 func mutPolicy(s *Spec, rng *rand.Rand, _ GenConfig) bool {
 	old := s.Policy
 	kinds := []string{PolRandom, PolBursty, PolCursor, PolBiased}
+	if s.Fam() == FamObj {
+		kinds = []string{PolRandom, PolBursty, PolBiased}
+	}
 	s.Policy = kinds[rng.Intn(len(kinds))]
 	s.Bias = 0
 	if s.Policy == PolBiased {
@@ -141,8 +172,9 @@ func mutSteps(s *Spec, rng *rand.Rand, cfg GenConfig) bool {
 }
 
 // mutProcs grows or shrinks the process count within the generator's 2–4
-// band (a parent already outside the band is left there); the source is
-// re-picked if the parent's name does not exist at the new count.
+// band (a parent already outside the band is left there); a language
+// scenario's source is re-picked if the parent's name does not exist at the
+// new count (object implementations exist at every count).
 func mutProcs(s *Spec, rng *rand.Rand, _ GenConfig) bool {
 	n := s.N
 	if rng.Intn(2) == 0 {
@@ -154,8 +186,65 @@ func mutProcs(s *Spec, rng *rand.Rand, _ GenConfig) bool {
 		return false
 	}
 	s.N = n
-	if !hasSource(*s) {
+	if s.Fam() == FamLang && !hasSource(*s) {
 		pickSource(s, rng)
+	}
+	return true
+}
+
+// mutImpl swaps the implementation for another of the parent's object — the
+// axis that carries a bug-exposing schedule from a correct implementation to
+// a seeded-bug one and back. A draw that lands on the current implementation
+// is not a mutation.
+func mutImpl(s *Spec, rng *rand.Rand, _ GenConfig) bool {
+	impls := ImplsOf(s.Object)
+	if len(impls) < 2 {
+		return false
+	}
+	old := s.Impl
+	pick := impls[rng.Intn(len(impls))]
+	if pick == old {
+		pick = impls[rng.Intn(len(impls))]
+	}
+	s.Impl = pick
+	return s.Impl != old
+}
+
+// mutOps perturbs the per-process operation budget by ±1..3 within the
+// spec's valid band.
+func mutOps(s *Spec, rng *rand.Rand, _ GenConfig) bool {
+	if s.Fam() != FamObj {
+		return false
+	}
+	delta := 1 + rng.Intn(3)
+	if rng.Intn(2) == 0 {
+		delta = -delta
+	}
+	ops := s.OpsPerProc + delta
+	if ops < 1 {
+		ops = 1
+	}
+	if ops > maxOpsPerProc {
+		ops = maxOpsPerProc
+	}
+	if ops == s.OpsPerProc {
+		return false
+	}
+	s.OpsPerProc = ops
+	return true
+}
+
+// mutMutBias perturbs the workload's mutate bias without leaving [0,1].
+func mutMutBias(s *Spec, rng *rand.Rand, _ GenConfig) bool {
+	if s.Fam() != FamObj {
+		return false
+	}
+	s.MutBias += (rng.Float64() - 0.5) * 0.4
+	if s.MutBias < 0 {
+		s.MutBias = 0
+	}
+	if s.MutBias > 1 {
+		s.MutBias = 1
 	}
 	return true
 }

@@ -74,6 +74,11 @@ type Outcome struct {
 	// Divergences are the failed differential checks, empty when the
 	// scenario is clean.
 	Divergences []Divergence `json:"divergences,omitempty"`
+	// OracleFailures (object family only) are oracle violations on
+	// properties the implementation does not guarantee: the seeded bug was
+	// exposed. They are findings about the system under test, not about the
+	// monitoring stack, so they are reported separately from Divergences.
+	OracleFailures []Divergence `json:"oracle_failures,omitempty"`
 	// Ran and Skipped name the checks that ran and those that did not
 	// apply (label checks on crashed runs, tail proxies on short runs).
 	Ran     []string `json:"ran"`
@@ -102,6 +107,9 @@ func Execute(s Spec) (*Outcome, error) { return Runner{}.Execute(s) }
 func (r Runner) Execute(s Spec) (*Outcome, error) {
 	if err := s.validate(); err != nil {
 		return nil, err
+	}
+	if s.Fam() == FamObj {
+		return r.executeObj(s)
 	}
 	l, err := langByName(s.Lang)
 	if err != nil {

@@ -8,17 +8,37 @@ package explore
 // trustworthy by construction; it need not fail the same check as the
 // original (a smaller execution may surface the root divergence more
 // directly, e.g. a per-verdict oracle instead of a tail proxy).
+//
+// The same machinery minimizes object-family bug findings: shrinkWhere
+// parameterizes what counts as "still interesting" — stack divergences for
+// ShrinkSpec, exposed implementation bugs (OracleFailures) for the Bug
+// entries of a report.
 
 // defaultShrinkBudget bounds candidate executions per shrink.
 const defaultShrinkBudget = 200
 
-// ShrinkSpec minimizes the divergent spec along three axes, in order:
-// fewer crashes, fewer processes, fewer scheduler steps. It returns the
-// smallest divergent spec found together with its divergences; when the
-// original spec itself no longer diverges (a nondeterministic monitor — in
-// itself a finding the replay check reports), the returned divergence list
-// is empty.
+// ShrinkSpec minimizes the divergent spec along up to four axes, in order:
+// fewer crashes, fewer processes, fewer workload operations (object family),
+// fewer scheduler steps. It returns the smallest divergent spec found
+// together with its divergences; when the original spec itself no longer
+// diverges (a nondeterministic monitor — in itself a finding the replay
+// check reports), the returned divergence list is empty.
 func ShrinkSpec(s Spec, r Runner, budget int) (Spec, []Divergence) {
+	return shrinkWhere(s, r, budget, func(o *Outcome) []Divergence { return o.Divergences })
+}
+
+// ShrinkBugSpec minimizes an object scenario that exposed a planted
+// implementation bug, preserving "some oracle failure survives" instead of
+// "some divergence survives" — the reproducer shows the bug, in as few
+// scheduler steps (and workload operations) as the seed's schedule allows.
+func ShrinkBugSpec(s Spec, r Runner, budget int) (Spec, []Divergence) {
+	return shrinkWhere(s, r, budget, func(o *Outcome) []Divergence { return o.OracleFailures })
+}
+
+// shrinkWhere is the generic minimizer: pick extracts the findings that must
+// survive shrinking (non-empty = the candidate is still interesting), and
+// the smallest interesting spec is returned with its surviving findings.
+func shrinkWhere(s Spec, r Runner, budget int, pick func(*Outcome) []Divergence) (Spec, []Divergence) {
 	if budget <= 0 {
 		budget = defaultShrinkBudget
 	}
@@ -29,10 +49,10 @@ func ShrinkSpec(s Spec, r Runner, budget int) (Spec, []Divergence) {
 		}
 		budget--
 		out, err := r.Execute(cand)
-		if err != nil || len(out.Divergences) == 0 {
+		if err != nil || len(pick(out)) == 0 {
 			return false
 		}
-		last = out.Divergences
+		last = pick(out)
 		return true
 	}
 	if !diverges(s) {
@@ -75,7 +95,24 @@ func ShrinkSpec(s Spec, r Runner, budget int) (Spec, []Divergence) {
 		best = cand
 	}
 
-	// Axis 3: steps. Halve while the divergence survives, bisect the gap
+	// Axis 3 (object family): the per-process operation budget. Halve while
+	// the finding survives, then a short linear pass; fewer operations make
+	// the eventual step-bound reproducer read as a near-sequential script.
+	if best.Fam() == FamObj {
+		withOps := func(ops int) Spec {
+			cand := best
+			cand.OpsPerProc = ops
+			return cand
+		}
+		for best.OpsPerProc > 1 && diverges(withOps(best.OpsPerProc/2)) {
+			best = withOps(best.OpsPerProc / 2)
+		}
+		for best.OpsPerProc > 1 && diverges(withOps(best.OpsPerProc-1)) {
+			best = withOps(best.OpsPerProc - 1)
+		}
+	}
+
+	// Axis 4: steps. Halve while the divergence survives, bisect the gap
 	// left by the failed halving (log₂ executions instead of one per step),
 	// then a short linear pass mops up non-monotone tails.
 	atSteps := func(steps int) Spec {
@@ -101,7 +138,7 @@ func ShrinkSpec(s Spec, r Runner, budget int) (Spec, []Divergence) {
 	}
 
 	// Every successful diverges call installed its candidate as best, so
-	// last always holds best's divergences.
+	// last always holds best's findings.
 	return best, last
 }
 

@@ -8,10 +8,42 @@ import (
 	"github.com/drv-go/drv/internal/monitor"
 )
 
-// specVersion tags the seed-spec wire format; bump when the encoding or the
-// scenario semantics change incompatibly, so stale corpora fail loudly
-// instead of replaying a different execution.
-const specVersion = "drv1"
+// Spec wire-format versions. drv2 is the current grammar: it adds the
+// object-execution family (an "obj/<object>/<impl>" head plus the ops= and
+// mb= workload fields) on top of the drv1 language-scenario grammar. The
+// encoder is version-minimal: a spec expressible in the drv1 grammar renders
+// with the drv1 tag, so every pre-drv2 corpus line and report stays byte
+// stable; object specs require — and render with — the drv2 tag. ParseSpec
+// accepts both tags, but rejects drv2-only constructs under a drv1 tag, so a
+// stale tool that knows only drv1 fails loudly instead of replaying a
+// different execution.
+const (
+	specVersion       = "drv2"
+	legacySpecVersion = "drv1"
+)
+
+// Scenario families. The family decides what a scenario executes: a Table 1
+// language source through its paper monitor (FamLang), or a real concurrent
+// object implementation (package sut) under a random workload through the
+// Figure 8 predictive monitor (FamObj).
+const (
+	// FamLang is the language-scenario family of PRs 2–4. It is the zero
+	// value: Spec.Family == "" means FamLang, which keeps every stored drv1
+	// spec and its JSON rendering unchanged.
+	FamLang = "lang"
+	// FamObj is the object-execution family: Spec.Object/Impl name a sut
+	// implementation, Spec.OpsPerProc/MutBias shape its random workload.
+	FamObj = "obj"
+)
+
+// Fam returns the scenario family, resolving the empty legacy value to
+// FamLang.
+func (s Spec) Fam() string {
+	if s.Family == "" {
+		return FamLang
+	}
+	return s.Family
+}
 
 // Policy kinds a scenario can schedule under. All are seeded from the spec;
 // see Spec.policy.
@@ -35,19 +67,29 @@ type Crash struct {
 	Proc int `json:"proc"`
 }
 
-// Spec fully determines one scenario: the language and labelled source under
-// inspection, the process count, the scheduling policy and its seed, the
-// step bound, and the crash schedule. Specs serialize to a one-line string
-// (String/ParseSpec) used as the replay and corpus format.
+// Spec fully determines one scenario: what runs (a labelled language source,
+// or an object implementation under a random workload), the process count,
+// the scheduling policy and its seed, the step bound, and the crash
+// schedule. Specs serialize to a one-line string (String/ParseSpec) used as
+// the replay and corpus format.
 type Spec struct {
-	// Lang is the Table 1 language name (e.g. "WEC_COUNT").
-	Lang string `json:"lang"`
-	// Source is the labelled source name within the language (e.g. "exact").
-	Source string `json:"source"`
+	// Family is the scenario family: "" or FamLang for language scenarios,
+	// FamObj for object executions.
+	Family string `json:"family,omitempty"`
+	// Lang is the Table 1 language name (e.g. "WEC_COUNT"); FamLang only.
+	Lang string `json:"lang,omitempty"`
+	// Source is the labelled source name within the language (e.g. "exact");
+	// FamLang only.
+	Source string `json:"source,omitempty"`
+	// Object is the sequential object name (e.g. "queue"); FamObj only.
+	Object string `json:"object,omitempty"`
+	// Impl is the implementation slug within the object (e.g. "lifo");
+	// FamObj only.
+	Impl string `json:"impl,omitempty"`
 	// N is the monitor process count.
 	N int `json:"n"`
-	// Seed drives the source generators and (via an independent stream) the
-	// scheduling policy.
+	// Seed drives the source generators or the workload and (via independent
+	// streams) the scheduling policy.
 	Seed int64 `json:"seed"`
 	// Policy is one of the Pol* kinds.
 	Policy string `json:"policy"`
@@ -55,16 +97,35 @@ type Spec struct {
 	Bias float64 `json:"bias,omitempty"`
 	// Steps bounds the scheduler.
 	Steps int `json:"steps"`
+	// OpsPerProc is each process's workload budget; FamObj only.
+	OpsPerProc int `json:"ops,omitempty"`
+	// MutBias weights mutating operations in the random workload; FamObj
+	// only.
+	MutBias float64 `json:"mut_bias,omitempty"`
 	// Crashes is the crash schedule, in increasing step order.
 	Crashes []Crash `json:"crashes,omitempty"`
 }
 
+// maxOpsPerProc bounds an object workload; generation draws far below it,
+// mutation may push toward it, and anything above is a mis-pasted spec.
+const maxOpsPerProc = 64
+
 // String renders the one-line seed spec, e.g.
 //
-//	drv1:WEC_COUNT/exact:n=3:seed=42:pol=biased/0.50:steps=2400:crash=1@120,0@300
+//	drv1:WEC_COUNT/exact:n=3:seed=42:pol=biased/0.5:steps=2400:crash=1@120,0@300
+//	drv2:obj/queue/lifo:n=3:seed=42:pol=random:steps=900:ops=5:mb=0.5:crash=1@120
+//
+// Language specs render with the drv1 tag (the version-minimal encoding, so
+// pre-drv2 corpora replay and dedup byte-for-byte); object specs need the
+// drv2 grammar and render with its tag.
 func (s Spec) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%s:%s/%s:n=%d:seed=%d:pol=%s", specVersion, s.Lang, s.Source, s.N, s.Seed, s.Policy)
+	if s.Fam() == FamObj {
+		fmt.Fprintf(&b, "%s:%s/%s/%s", specVersion, FamObj, s.Object, s.Impl)
+	} else {
+		fmt.Fprintf(&b, "%s:%s/%s", legacySpecVersion, s.Lang, s.Source)
+	}
+	fmt.Fprintf(&b, ":n=%d:seed=%d:pol=%s", s.N, s.Seed, s.Policy)
 	if s.Policy == PolBiased {
 		// 'g'/-1 renders the shortest decimal that parses back to exactly
 		// this float64, so String↔ParseSpec is exact for every bias a
@@ -74,6 +135,9 @@ func (s Spec) String() string {
 		b.WriteString(strconv.FormatFloat(s.Bias, 'g', -1, 64))
 	}
 	fmt.Fprintf(&b, ":steps=%d", s.Steps)
+	if s.Fam() == FamObj {
+		fmt.Fprintf(&b, ":ops=%d:mb=%s", s.OpsPerProc, strconv.FormatFloat(s.MutBias, 'g', -1, 64))
+	}
 	if len(s.Crashes) > 0 {
 		b.WriteString(":crash=")
 		for i, c := range s.Crashes {
@@ -86,18 +150,31 @@ func (s Spec) String() string {
 	return b.String()
 }
 
-// ParseSpec parses the String encoding back into a Spec.
+// ParseSpec parses the String encoding back into a Spec. Both the current
+// drv2 tag and the legacy drv1 tag are accepted; the object family and the
+// workload fields are drv2-only constructs and are rejected under drv1.
 func ParseSpec(in string) (Spec, error) {
 	var s Spec
 	fields := strings.Split(strings.TrimSpace(in), ":")
-	if len(fields) < 2 || fields[0] != specVersion {
-		return s, fmt.Errorf("explore: spec %q does not start with %q", in, specVersion)
+	if len(fields) < 2 || (fields[0] != specVersion && fields[0] != legacySpecVersion) {
+		return s, fmt.Errorf("explore: spec %q does not start with %q or %q", in, specVersion, legacySpecVersion)
 	}
-	langSrc := strings.SplitN(fields[1], "/", 2)
-	if len(langSrc) != 2 || langSrc[0] == "" || langSrc[1] == "" {
+	legacy := fields[0] == legacySpecVersion
+	head := strings.Split(fields[1], "/")
+	switch {
+	case head[0] == FamObj:
+		if legacy {
+			return s, fmt.Errorf("explore: spec %q uses the object family under the %s tag (needs %s)", in, legacySpecVersion, specVersion)
+		}
+		if len(head) != 3 || head[1] == "" || head[2] == "" {
+			return s, fmt.Errorf("explore: spec %q lacks an obj/object/impl head", in)
+		}
+		s.Family, s.Object, s.Impl = FamObj, head[1], head[2]
+	case len(head) == 2 && head[0] != "" && head[1] != "":
+		s.Lang, s.Source = head[0], head[1]
+	default:
 		return s, fmt.Errorf("explore: spec %q lacks a lang/source field", in)
 	}
-	s.Lang, s.Source = langSrc[0], langSrc[1]
 	seen := map[string]bool{}
 	for _, f := range fields[2:] {
 		kv := strings.SplitN(f, "=", 2)
@@ -124,6 +201,16 @@ func ParseSpec(in string) (Spec, error) {
 			}
 		case "steps":
 			s.Steps, err = strconv.Atoi(kv[1])
+		case "ops":
+			if legacy {
+				return s, fmt.Errorf("explore: spec field %q is %s-only", f, specVersion)
+			}
+			s.OpsPerProc, err = strconv.Atoi(kv[1])
+		case "mb":
+			if legacy {
+				return s, fmt.Errorf("explore: spec field %q is %s-only", f, specVersion)
+			}
+			s.MutBias, err = strconv.ParseFloat(kv[1], 64)
 		case "crash":
 			for _, part := range strings.Split(kv[1], ",") {
 				var c Crash
@@ -149,6 +236,8 @@ func ParseSpec(in string) (Spec, error) {
 // validate rejects specs that cannot execute.
 func (s Spec) validate() error {
 	switch {
+	case s.Fam() != FamLang && s.Fam() != FamObj:
+		return fmt.Errorf("explore: unknown scenario family %q", s.Family)
 	case s.N < 1:
 		return fmt.Errorf("explore: spec needs n ≥ 1, got %d", s.N)
 	case s.Steps < 1:
@@ -168,6 +257,9 @@ func (s Spec) validate() error {
 	// the biased policy.
 	if s.Policy == PolBiased && !(s.Bias >= 0 && s.Bias <= 1) {
 		return fmt.Errorf("explore: bias %v outside [0,1]", s.Bias)
+	}
+	if err := s.validateFamily(); err != nil {
+		return err
 	}
 	for i, c := range s.Crashes {
 		if c.Proc < 0 || c.Proc >= s.N {
@@ -194,6 +286,35 @@ func (s Spec) validate() error {
 				return fmt.Errorf("explore: process %d crashes twice", c.Proc)
 			}
 		}
+	}
+	return nil
+}
+
+// validateFamily checks the family-specific half of the spec: language
+// scenarios must not carry workload fields, object scenarios must name a
+// known implementation and a sane workload.
+func (s Spec) validateFamily() error {
+	if s.Fam() == FamLang {
+		switch {
+		case s.Object != "" || s.Impl != "":
+			return fmt.Errorf("explore: language spec carries object fields %q/%q", s.Object, s.Impl)
+		case s.OpsPerProc != 0 || s.MutBias != 0:
+			return fmt.Errorf("explore: language spec carries workload fields ops=%d mb=%v", s.OpsPerProc, s.MutBias)
+		}
+		return nil
+	}
+	switch {
+	case s.Lang != "" || s.Source != "":
+		return fmt.Errorf("explore: object spec carries language fields %q/%q", s.Lang, s.Source)
+	case s.OpsPerProc < 1 || s.OpsPerProc > maxOpsPerProc:
+		return fmt.Errorf("explore: object spec needs ops in [1,%d], got %d", maxOpsPerProc, s.OpsPerProc)
+	}
+	// Negated-range form for the same NaN reason as the policy bias.
+	if !(s.MutBias >= 0 && s.MutBias <= 1) {
+		return fmt.Errorf("explore: workload mutate bias %v outside [0,1]", s.MutBias)
+	}
+	if _, _, err := implByName(s.Object, s.Impl); err != nil {
+		return err
 	}
 	return nil
 }

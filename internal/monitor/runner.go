@@ -63,6 +63,14 @@ type Result struct {
 	HistAt [][]int
 	// Steps is the number of scheduler steps taken.
 	Steps int
+	// Drained reports that the run ended because every actor parked or
+	// exited (the service's behaviour script or workload was exhausted)
+	// rather than by hitting the step bound. Offline oracles that reason
+	// about the *final* verdicts ("the last check saw every operation") are
+	// only meaningful on drained runs — a step-bound cutoff can land between
+	// a response and the verdict that judges it. Always false under a custom
+	// Drive loop, which owns its own termination.
+	Drained bool
 }
 
 // Procs returns the number of monitor processes; part of core.Stats.

@@ -87,6 +87,7 @@ func (s *Session) body(i int) func(p *sched.Proc) {
 func (s *Session) resetResult(n int) {
 	res := &s.res
 	res.Steps = 0
+	res.Drained = false
 	res.History = nil
 	grow(&res.Verdicts, n)
 	grow(&res.Responses, n)
@@ -159,6 +160,7 @@ func (s *Session) Run(cfg Config) *Result {
 				}
 			}
 			if !rt.Step() {
+				s.res.Drained = true
 				break
 			}
 		}

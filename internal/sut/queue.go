@@ -134,3 +134,46 @@ func (s *LockStack) Invoke(p *sched.Proc, op string, arg word.Value) word.Value 
 		panic(fmt.Sprintf("sut: stack does not implement %q", op))
 	}
 }
+
+// FIFOStack is the stack counterpart of LIFOQueue: a seeded-bug stack that
+// pops from the bottom — a queue wearing a stack's interface. Like the
+// wrong-ended queue, two pushed items coming back in push order expose it to
+// any order-sensitive monitor.
+type FIFOStack struct {
+	mu    lock
+	items mem.Register[[]int64]
+}
+
+// NewFIFOStack returns an empty wrong-ended stack.
+func NewFIFOStack() *FIFOStack { return &FIFOStack{} }
+
+// Name implements Impl.
+func (*FIFOStack) Name() string { return "stack/fifo-bug" }
+
+// Invoke implements Impl.
+func (s *FIFOStack) Invoke(p *sched.Proc, op string, arg word.Value) word.Value {
+	switch op {
+	case spec.OpPush:
+		s.mu.acquire(p)
+		cur := s.items.Read(p)
+		next := make([]int64, len(cur)+1)
+		copy(next, cur)
+		next[len(cur)] = int64(arg.(word.Int))
+		s.items.Write(p, next)
+		s.mu.release(p)
+		return word.Unit{}
+	case spec.OpPop:
+		s.mu.acquire(p)
+		cur := s.items.Read(p)
+		if len(cur) == 0 {
+			s.mu.release(p)
+			return spec.Empty
+		}
+		bottom := cur[0] // bug: FIFO pop
+		s.items.Write(p, append([]int64(nil), cur[1:]...))
+		s.mu.release(p)
+		return word.Int(bottom)
+	default:
+		panic(fmt.Sprintf("sut: stack does not implement %q", op))
+	}
+}

@@ -286,6 +286,25 @@ func TestLIFOQueueCaught(t *testing.T) {
 	}
 }
 
+func TestFIFOStackCaught(t *testing.T) {
+	// Sequential script: push 1, push 2, pop must return 2; the bug returns
+	// 1, violating even sequential consistency — the mirror image of the
+	// LIFO queue.
+	scripts := [][]word.Symbol{
+		{
+			{Op: spec.OpPush, Val: word.Int(1)},
+			{Op: spec.OpPush, Val: word.Int(2)},
+			{Op: spec.OpPop},
+			{Op: spec.OpPop},
+		},
+	}
+	svc := NewService(1, NewFIFOStack(), NewScriptWorkload(scripts))
+	h := run(t, 1, svc, 1, 100_000)
+	if check.SeqConsistent(spec.Stack(), h) {
+		t.Errorf("FIFO stack bug not caught:\n%v", h)
+	}
+}
+
 func TestLockStackLinearizable(t *testing.T) {
 	for _, seed := range seeds() {
 		svc := NewService(3, NewLockStack(), NewRandomWorkload(spec.Stack(), 3, 6, 0.5, seed))
