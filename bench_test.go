@@ -479,19 +479,27 @@ const benchExploreScenarios = 48
 // BENCH_EXPLORE_OUT is set, a machine-readable baseline (see
 // BENCH_explore.json) is written there after the run.
 func BenchmarkExplore(b *testing.B) {
-	configs := []struct {
-		name    string
-		workers int
-	}{
-		{"j-1", 1},
+	type config struct {
+		name     string
+		workers  int
+		families []string
 	}
-	// On a single-CPU machine the parallel configuration would duplicate
-	// the sequential one (and its baseline row) under the same name.
-	if n := runtime.NumCPU(); n > 1 {
-		configs = append(configs, struct {
-			name    string
-			workers int
-		}{fmt.Sprintf("j-%d", n), n})
+	// The pooled configuration uses every core, but never fewer than 4
+	// workers: on a small machine the row still measures the pool's
+	// scheduling overhead instead of silently collapsing into the
+	// sequential row.
+	pool := runtime.NumCPU()
+	if pool < 4 {
+		pool = 4
+	}
+	configs := []config{
+		{"j-1", 1, nil},
+		{fmt.Sprintf("j-%d", pool), pool, nil},
+		// The message family pays per-scenario network and emulation costs
+		// the language family does not; its rows keep that regression
+		// visible.
+		{"msg-j-1", 1, []string{explore.FamMsg}},
+		{fmt.Sprintf("msg-j-%d", pool), pool, []string{explore.FamMsg}},
 	}
 	type rate struct {
 		Name         string  `json:"name"`
@@ -511,7 +519,7 @@ func BenchmarkExplore(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				rep, err := explore.Explore(explore.Options{
 					Master: 1, Scenarios: benchExploreScenarios, Workers: cfg.workers,
-					Gen: explore.GenConfig{MaxCrashes: 2},
+					Gen: explore.GenConfig{Families: cfg.families, MaxCrashes: 2},
 				})
 				if err != nil {
 					b.Fatal(err)

@@ -5,7 +5,7 @@
 // ground-truth oracles. Divergent scenarios are shrunk to minimal
 // reproducers and reported as one-line seed specs.
 //
-// Two scenario families exist. The language family (-family lang, the
+// Three scenario families exist. The language family (-family lang, the
 // default) replays labelled adversary sources for the seven Table 1
 // languages. The object family (-family obj) runs the real concurrent
 // implementations of internal/sut — queues, stacks, registers, counters,
@@ -15,6 +15,16 @@
 // small histories, the brute-force reference checkers). Schedules that
 // expose a seeded bug are reported (and shrunk) as bug findings; they
 // exit 0 — finding them is the point — while stack divergences exit 1.
+//
+// The message-passing family (-family msg, spec grammar drv3) runs objects
+// emulated over asynchronous message passing — the ABD register and the
+// snapshot-counter and coordinator-consensus walks built on it — on a
+// deterministic seeded network with per-scenario delivery order (-net
+// fifo,lifo,random,starve), reordering and message loss, plus the usual
+// crash schedules. The emulated object's history is judged with the same
+// oracles, and the same bug-versus-divergence split applies to its seeded
+// emulation bugs (a read that skips its write-back, a lost increment, an
+// echoing coordinator).
 //
 // With -corpus the sweep is coverage-guided: a directory of one-line seed
 // specs is loaded, a -mutate-frac share of the budget mutates those seeds
@@ -29,13 +39,15 @@
 //
 // Usage:
 //
-//	drvexplore [-seeds k] [-master m] [-j workers] [-family lang,obj]
-//	           [-lang L1,L2] [-obj O1,O2] [-impl I1,I2] [-crashes c]
-//	           [-max-steps s] [-pool] [-replay-check] [-no-shrink] [-progress]
+//	drvexplore [-seeds k] [-master m] [-j workers] [-family lang,obj,msg]
+//	           [-lang L1,L2] [-obj O1,O2] [-impl I1,I2] [-net N1,N2]
+//	           [-crashes c] [-max-steps s] [-pool] [-replay-check]
+//	           [-no-shrink] [-progress]
 //	           [-corpus dir] [-mutate-frac f] [-corpus-save]
 //	           [-out seeds.json] [-cpuprofile f]
 //	drvexplore -replay "drv1:WEC_COUNT/exact:n=3:seed=7:pol=random:steps=2600"
 //	drvexplore -replay "drv2:obj/queue/lifo:n=2:seed=7:pol=random:steps=900:ops=4:mb=0.5"
+//	drvexplore -replay "drv3:msg/register/abd:n=3:seed=7:pol=random:steps=2000:ops=4:mb=0.5:net=lifo"
 package main
 
 import (
@@ -66,10 +78,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var workers int
 	fs.IntVar(&workers, "j", runtime.NumCPU(), "worker-pool size; 1 runs scenarios sequentially")
 	fs.IntVar(&workers, "parallel", runtime.NumCPU(), "alias for -j")
-	family := fs.String("family", "", "comma-separated scenario families: lang, obj (default: lang)")
+	family := fs.String("family", "", "comma-separated scenario families: lang, obj, msg (default: lang)")
 	langs := fs.String("lang", "", "comma-separated language filter (default: all seven)")
-	objects := fs.String("obj", "", "comma-separated object filter for -family obj (default: all)")
-	impls := fs.String("impl", "", "comma-separated implementation filter for -family obj (default: all)")
+	objects := fs.String("obj", "", "comma-separated object filter for -family obj/msg (default: all)")
+	impls := fs.String("impl", "", "comma-separated implementation filter for -family obj/msg (default: all)")
+	nets := fs.String("net", "", "comma-separated network delivery orders for -family msg: fifo, lifo, random, starve (default: all)")
 	crashes := fs.Int("crashes", 2, "max crashes per scenario (0 disables crash injection)")
 	maxSteps := fs.Int("max-steps", 0, "cap on a scenario's scheduler step bound (0 = family defaults)")
 	replayCheck := fs.Bool("replay-check", false, "re-execute every scenario and flag digest mismatches (doubles the work)")
@@ -120,14 +133,28 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *family != "" {
 		opts.Gen.Families = strings.Split(*family, ",")
 	}
-	if *objects != "" || *impls != "" {
-		// The object filters only shape object-family scenarios: bare
-		// -obj/-impl implies -family obj, and an explicit family set that
-		// omits obj would silently ignore them — a usage error.
+	if *nets != "" {
+		// The network knob only shapes message-family scenarios: bare -net
+		// implies -family msg, and an explicit family set that omits msg
+		// would silently ignore it — a usage error.
 		if *family == "" {
+			opts.Gen.Families = []string{explore.FamMsg}
+		} else if !slices.Contains(opts.Gen.Families, explore.FamMsg) {
+			fmt.Fprintf(stderr, "drvexplore: -net needs the msg family (got -family %s)\n", *family)
+			return 2
+		}
+		opts.Gen.NetOrders = strings.Split(*nets, ",")
+	}
+	if *objects != "" || *impls != "" {
+		// The object filters only shape object- and message-family
+		// scenarios: bare -obj/-impl implies -family obj, and an explicit
+		// family set without obj or msg would silently ignore them — a
+		// usage error.
+		if *family == "" && *nets == "" {
 			opts.Gen.Families = []string{explore.FamObj}
-		} else if !slices.Contains(opts.Gen.Families, explore.FamObj) {
-			fmt.Fprintf(stderr, "drvexplore: -obj/-impl need the obj family (got -family %s)\n", *family)
+		} else if !slices.Contains(opts.Gen.Families, explore.FamObj) &&
+			!slices.Contains(opts.Gen.Families, explore.FamMsg) {
+			fmt.Fprintf(stderr, "drvexplore: -obj/-impl need the obj or msg family (got -family %s)\n", *family)
 			return 2
 		}
 	}
@@ -255,10 +282,10 @@ func replayOne(specLine string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintf(stdout, "spec:     %s\n", out.Spec)
 	fmt.Fprintf(stdout, "monitor:  %s\n", out.Monitor)
-	if out.Spec.Fam() == explore.FamObj {
-		fmt.Fprintf(stdout, "label:    correct-impl=%v\n", out.Label)
-	} else {
+	if out.Spec.Fam() == explore.FamLang {
 		fmt.Fprintf(stdout, "label:    in-language=%v\n", out.Label)
+	} else {
+		fmt.Fprintf(stdout, "label:    correct-impl=%v\n", out.Label)
 	}
 	fmt.Fprintf(stdout, "steps:    %d\nverdicts: %d (%d NO)\ndigest:   %s\n", out.Steps, out.Verdicts, out.NOs, out.Digest)
 	fmt.Fprintf(stdout, "checks:   ran %s; skipped %s\n", strings.Join(out.Ran, ","), strings.Join(out.Skipped, ","))

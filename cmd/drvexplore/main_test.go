@@ -428,6 +428,123 @@ drv1:SEC_COUNT/over-read:n=2:seed=7:pol=biased/0.60:steps=2100
 	}
 }
 
+func TestMsgFamilySweep(t *testing.T) {
+	// A message-family sweep over the seeded-bug emulations must find bugs
+	// (reported on stdout with shrunk drv3 reproducers), stay free of stack
+	// divergences, and exit 0.
+	code, out, errOut := runExplore(t, "-j", "2", "-family", "msg", "-seeds", "60")
+	if code != 0 {
+		t.Fatalf("exit %d, stdout:\n%s\nstderr:\n%s", code, out, errOut)
+	}
+	for _, want := range []string{"objects: ", "bugs: ", "BUG ", "shrunk to drv3:msg/", "no divergences"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("message sweep output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMsgFamilyDeterministicAcrossWorkersAndPooling(t *testing.T) {
+	// Byte-determinism extends to the message family: -family msg reports
+	// are identical across -j 1/-j 4 and -pool/-pool=false.
+	dir := t.TempDir()
+	var files, outs []string
+	for _, cfg := range [][]string{
+		{"-j", "1", "-pool=true"},
+		{"-j", "4", "-pool=true"},
+		{"-j", "4", "-pool=false"},
+	} {
+		f := filepath.Join(dir, "msg"+strings.Join(cfg, "")+".json")
+		args := append([]string{"-family", "msg"}, cfg...)
+		code, out, errOut := runExplore(t, append(args, "-out", f)...)
+		if code != 0 {
+			t.Fatalf("%v: exit %d, stderr:\n%s", cfg, code, errOut)
+		}
+		files = append(files, f)
+		outs = append(outs, out)
+	}
+	first, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(first), "drv3:msg/") {
+		t.Fatalf("message sweep report contains no message specs:\n%s", first)
+	}
+	for i := 1; i < len(files); i++ {
+		js, err := os.ReadFile(files[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first, js) {
+			t.Errorf("message report %d differs from the -j 1 report", i)
+		}
+		if outs[i] != outs[0] {
+			t.Errorf("message stdout %d differs from the -j 1 stdout", i)
+		}
+	}
+}
+
+func TestMsgFamilyFilters(t *testing.T) {
+	dir := t.TempDir()
+	f := filepath.Join(dir, "msg.json")
+	// consensus/echo exposes its bug on essentially every schedule, so the
+	// report carries full drv3 spec lines to assert the filters on.
+	code, _, errOut := runExplore(t, "-family", "msg", "-obj", "consensus", "-impl", "echo", "-net", "starve", "-out", f)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, errOut)
+	}
+	js, err := os.ReadFile(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(js), "drv3:msg/consensus/echo") {
+		t.Errorf("filtered sweep never ran consensus/echo:\n%s", js)
+	}
+	for _, other := range []string{"msg/register", "msg/counter", "consensus/coord", "net=fifo", "net=lifo", "net=random"} {
+		if strings.Contains(string(js), other) {
+			t.Errorf("filtered sweep ran %s:\n%s", other, js)
+		}
+	}
+	// Unknown network orders are usage errors, as is -net under a family
+	// set that would silently ignore it.
+	for _, args := range [][]string{
+		{"-family", "msg", "-net", "turtle"},
+		{"-family", "msg", "-obj", "queue"},
+		{"-family", "lang", "-net", "lifo"},
+		{"-family", "obj", "-net", "lifo"},
+	} {
+		if code, _, _ := runExplore(t, args...); code != 2 {
+			t.Errorf("%v exited %d, want 2", args, code)
+		}
+	}
+
+	// Bare -net implies the message family instead of being ignored.
+	code, out, errOut := runExplore(t, "-net", "starve")
+	if code != 0 {
+		t.Fatalf("bare -net exited %d, stderr:\n%s", code, errOut)
+	}
+	if !strings.Contains(out, "objects: ") || !strings.Contains(out, "register/") {
+		t.Errorf("bare -net did not run the message family:\n%s", out)
+	}
+}
+
+func TestMsgReplaySpec(t *testing.T) {
+	// Replaying a message spec that exposes a seeded emulation bug prints
+	// the finding and exits 0: the bug is in the emulation under test, not
+	// in the stack.
+	var stdout, stderr bytes.Buffer
+	spec := "drv3:msg/consensus/echo:n=2:seed=8551264065755986178:pol=biased/0.65:steps=20:ops=1:mb=0.6:net=starve"
+	code := run([]string{"-replay", spec}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("replay exited %d, stderr:\n%s", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{spec, "label:    correct-impl=false", "BUG lin", "no divergences"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("message replay output missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestHelpExitsZero(t *testing.T) {
 	var stdout, stderr bytes.Buffer
 	if code := run([]string{"-h"}, &stdout, &stderr); code != 0 {

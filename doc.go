@@ -47,7 +47,15 @@
 //     random workloads and crashes through Aτ and the Figure 8 monitor,
 //     splitting oracle outcomes into divergences (guaranteed properties
 //     violated) and shrunk bug findings (seeded bugs exposed); its corpus
-//     lives under testdata/corpus-obj.
+//     lives under testdata/corpus-obj. A third family (drvexplore -family
+//     msg, the drv3 grammar) explores objects emulated over message passing
+//     — the internal/abd register, counter and consensus walks on
+//     internal/msgnet — under seeded delivery orders (-net
+//     fifo/lifo/random/starve), message loss (drop=) and crashes; the
+//     emulated object's history is judged by the same oracles, bug
+//     reproducers also shrink along the loss-schedule axis, coverage
+//     signatures gain a network axis, and its corpus lives under
+//     testdata/corpus-msg.
 //
 // The cmd directory holds the reproduction tools (drvtable, drvtrace,
 // drvmon, drvsketch, drvexplore); examples holds five runnable

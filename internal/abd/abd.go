@@ -55,6 +55,17 @@ type Register struct {
 
 	replicas []triple
 	seq      []int // per-process RPC sequence numbers
+
+	// auxServed is set by Servers: replicas answer from aux actors, so
+	// clients park on the scheduler gate instead of busy-polling and
+	// self-serving while they wait for a quorum.
+	auxServed bool
+	// noWriteBack is the seeded bug of DropReadWriteBack: reads skip the
+	// write-back phase, demoting the register from atomic to regular.
+	noWriteBack bool
+	// noWriteStore is the seeded bug of DropWriteStore: writes never
+	// propagate past the writer's own replica.
+	noWriteStore bool
 }
 
 // NewRegister creates an emulated register named name (names multiplex the
@@ -69,36 +80,125 @@ func NewRegister(name string, n int, net *msgnet.Net, init int64) *Register {
 	}
 }
 
+// DropReadWriteBack disables the read's write-back phase — the classic
+// seeded protocol bug: without it two sequential reads can see a concurrent
+// write new-then-old (the register is regular, not atomic), and a process's
+// own reads can even run backwards because a query quorum need not contain
+// the reader's replica. Returns r for chaining at construction sites.
+func (r *Register) DropReadWriteBack() *Register {
+	r.noWriteBack = true
+	return r
+}
+
+// DropWriteStore disables the write's store phase: the new triple lands only
+// in the writer's own replica, so a completed write is visible to a later
+// quorum read only when that quorum happens to include the writer. Returns r
+// for chaining at construction sites.
+func (r *Register) DropWriteStore() *Register {
+	r.noWriteStore = true
+	return r
+}
+
 // Serve handles one incoming protocol message addressed to p's replica, if
 // any is pending; returns false when nothing was handled. Deployments call
 // Serve from each process's main loop (or from a dedicated server pass) so
 // replicas answer while clients are blocked in their own operations —
 // the standard way ABD is layered under a local algorithm.
 func (r *Register) Serve(p *sched.Proc) bool {
-	m, ok := r.net.TryRecv(p, func(m msgnet.Message) bool {
-		b, isB := m.Body.(body)
-		return isB && b.Reg == r.name && (m.Tag == tagQueryReq || m.Tag == tagStoreReq)
-	})
+	m, ok := r.net.TryRecv(p, r.isRequest)
 	if !ok {
 		return false
 	}
+	r.handle(p.ID, m, func(mm msgnet.Message) { r.net.Send(p, mm) })
+	return true
+}
+
+// isRequest filters this register's replica-side protocol messages.
+func (r *Register) isRequest(m msgnet.Message) bool {
+	b, isB := m.Body.(body)
+	return isB && b.Reg == r.name && (m.Tag == tagQueryReq || m.Tag == tagStoreReq)
+}
+
+// handle answers one replica-side request on behalf of replica id, sending
+// the reply through send (a stepped Proc send or an inline aux send).
+func (r *Register) handle(id int, m msgnet.Message, send func(msgnet.Message)) {
 	b := m.Body.(body)
 	switch m.Tag {
 	case tagQueryReq:
-		r.net.Send(p, msgnet.Message{
+		send(msgnet.Message{
 			To: m.From, Tag: tagQueryAck, Seq: m.Seq,
-			Body: body{Reg: r.name, Trip: r.replicas[p.ID]},
+			Body: body{Reg: r.name, Trip: r.replicas[id]},
 		})
 	case tagStoreReq:
-		if b.Trip.newer(r.replicas[p.ID]) {
-			r.replicas[p.ID] = b.Trip
+		if b.Trip.newer(r.replicas[id]) {
+			r.replicas[id] = b.Trip
 		}
-		r.net.Send(p, msgnet.Message{
+		send(msgnet.Message{
 			To: m.From, Tag: tagStoreAck, Seq: m.Seq,
 			Body: body{Reg: r.name},
 		})
 	}
+}
+
+// HasRequest reports whether a protocol request for replica id is waiting —
+// the runnable gate of the replica's aux actor.
+func (r *Register) HasRequest(id int) bool {
+	return r.net.InboxHas(id, r.isRequest)
+}
+
+// ServeStep answers one pending request for replica id inline, without a
+// Proc — the step body of the replica's aux actor. Returns false when
+// nothing was pending.
+func (r *Register) ServeStep(id int) bool {
+	m, ok := r.net.AuxRecv(id, r.isRequest)
+	if !ok {
+		return false
+	}
+	r.handle(id, m, func(mm msgnet.Message) { r.net.AuxSend(id, mm) })
 	return true
+}
+
+// Server is the replica side of a message-passing emulation, servable from a
+// scheduler aux actor: HasRequest gates the actor, ServeStep is its step.
+type Server interface {
+	HasRequest(id int) bool
+	ServeStep(id int) bool
+}
+
+// Servers installs one aux actor per process that serves every given
+// emulation's replica at that process, and switches ABD registers among them
+// to Await-based ack gathering (with replicas served out-of-process, parked
+// clients no longer deadlock the emulation, and parking beats busy-polling
+// by orders of magnitude in scheduler steps). Crashes need no extra wiring:
+// msgnet.Net.Crash empties the process's inbox, so its server actor is never
+// runnable again. Returns the aux actor IDs in process order.
+func Servers(rt *sched.Runtime, n int, srvs ...Server) []int {
+	ids := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		i := i
+		runnable := func() bool {
+			for _, s := range srvs {
+				if s.HasRequest(i) {
+					return true
+				}
+			}
+			return false
+		}
+		step := func() {
+			for _, s := range srvs {
+				if s.ServeStep(i) {
+					return
+				}
+			}
+		}
+		ids = append(ids, rt.AddAux(fmt.Sprintf("abd-server-%d", i), runnable, step))
+	}
+	for _, s := range srvs {
+		if r, ok := s.(*Register); ok {
+			r.auxServed = true
+		}
+	}
+	return ids
 }
 
 // body is the payload of every protocol message.
@@ -120,12 +220,21 @@ func (r *Register) rpc(p *sched.Proc, reqTag, ackTag string, trip triple) []trip
 		Tag: reqTag, Seq: seq,
 		Body: body{Reg: r.name, Trip: trip},
 	})
+	matchAck := func(m msgnet.Message) bool {
+		b, isB := m.Body.(body)
+		return isB && b.Reg == r.name && m.Tag == ackTag && m.Seq == seq
+	}
 	acks := make([]triple, 0, r.quorum())
 	for len(acks) < r.quorum() {
-		m, ok := r.net.TryRecv(p, func(m msgnet.Message) bool {
-			b, isB := m.Body.(body)
-			return isB && b.Reg == r.name && m.Tag == ackTag && m.Seq == seq
-		})
+		if r.auxServed {
+			// Replicas answer from aux actors; park until the next ack. A
+			// client whose quorum can never form (too many crashes, dropped
+			// messages) quiesces here instead of spinning.
+			m := r.net.RecvAwait(p, matchAck)
+			acks = append(acks, m.Body.(body).Trip)
+			continue
+		}
+		m, ok := r.net.TryRecv(p, matchAck)
 		if ok {
 			acks = append(acks, m.Body.(body).Trip)
 			continue
@@ -149,7 +258,8 @@ func maxTriple(ts []triple) triple {
 }
 
 // Write performs an atomic write: query a majority for the newest timestamp,
-// then store a strictly newer triple at a majority.
+// then store a strictly newer triple at a majority (unless DropWriteStore
+// seeded the propagation bug).
 func (r *Register) Write(p *sched.Proc, v int64) {
 	acks := r.rpc(p, tagQueryReq, tagQueryAck, triple{})
 	cur := maxTriple(acks)
@@ -157,14 +267,24 @@ func (r *Register) Write(p *sched.Proc, v int64) {
 	if next.newer(r.replicas[p.ID]) {
 		r.replicas[p.ID] = next // adopt locally first
 	}
+	if r.noWriteStore {
+		return
+	}
 	r.rpc(p, tagStoreReq, tagStoreAck, next)
 }
 
 // Read performs an atomic read: query a majority for the newest triple,
-// write it back to a majority, then return its value.
+// write it back to a majority, then return its value. With DropReadWriteBack
+// the whole write-back phase — local adoption included — is skipped: the
+// read returns the newest triple it saw and stores it nowhere, so a value
+// held only by a minority (a write caught mid-store) can be seen by one read
+// and missed by the next.
 func (r *Register) Read(p *sched.Proc) int64 {
 	acks := r.rpc(p, tagQueryReq, tagQueryAck, triple{})
 	cur := maxTriple(acks)
+	if r.noWriteBack {
+		return cur.Value
+	}
 	if cur.newer(r.replicas[p.ID]) {
 		r.replicas[p.ID] = cur
 	}

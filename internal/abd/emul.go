@@ -1,0 +1,99 @@
+package abd
+
+import (
+	"fmt"
+
+	"github.com/drv-go/drv/internal/msgnet"
+	"github.com/drv-go/drv/internal/sched"
+	"github.com/drv-go/drv/internal/spec"
+	"github.com/drv-go/drv/internal/sut"
+	"github.com/drv-go/drv/internal/word"
+)
+
+// Counter emulates the paper's counter over per-process ABD cells — the
+// message-passing analogue of sut.SnapshotCounter's cells-plus-collect walk:
+// inc writes the process's own single-writer cell, read collects all n cells
+// one emulated read at a time and sums. A collect over atomic monotone
+// single-writer cells is linearizable as a counter: each cell read returns
+// the cell's value at some instant inside the collect, so the sum lies
+// between the true totals at the collect's invocation and response, and the
+// total passes through every intermediate value one inc at a time.
+type Counter struct {
+	n     int
+	cells []*Register
+	local []int64 // each process's own count; single-writer, no race
+}
+
+// NewCounter creates an emulated counter named name for n processes, with
+// one ABD cell per process multiplexed over the network.
+func NewCounter(name string, n int, net *msgnet.Net) *Counter {
+	c := &Counter{n: n, cells: make([]*Register, n), local: make([]int64, n)}
+	for i := 0; i < n; i++ {
+		c.cells[i] = NewRegister(fmt.Sprintf("%s.c%d", name, i), n, net, 0)
+	}
+	return c
+}
+
+// DropIncStore seeds the lost-increment bug: every cell drops its write
+// store phase, so an inc lands only in the incrementing process's own
+// replica and a reader sees it only when its query quorums happen to include
+// that replica — reads under-count and can even run backwards.
+func (c *Counter) DropIncStore() *Counter {
+	for _, cell := range c.cells {
+		cell.DropWriteStore()
+	}
+	return c
+}
+
+// Cells exposes the underlying registers for server registration.
+func (c *Counter) Cells() []*Register { return c.cells }
+
+// Inc adds one to the caller's cell.
+func (c *Counter) Inc(p *sched.Proc) {
+	c.local[p.ID]++
+	c.cells[p.ID].Write(p, c.local[p.ID])
+}
+
+// Read collects every cell and returns the sum.
+func (c *Counter) Read(p *sched.Proc) int64 {
+	var total int64
+	for _, cell := range c.cells {
+		total += cell.Read(p)
+	}
+	return total
+}
+
+// CounterImpl adapts an emulated counter to sut.Impl.
+type CounterImpl struct {
+	ctr  *Counter
+	name string
+}
+
+var _ sut.Impl = (*CounterImpl)(nil)
+
+// NewCounterImpl wraps an emulated counter.
+func NewCounterImpl(ctr *Counter) *CounterImpl {
+	return &CounterImpl{ctr: ctr, name: "counter/abd"}
+}
+
+// WithName overrides the reported implementation name (bug variants).
+func (c *CounterImpl) WithName(name string) *CounterImpl {
+	c.name = name
+	return c
+}
+
+// Name implements sut.Impl.
+func (c *CounterImpl) Name() string { return c.name }
+
+// Invoke implements sut.Impl.
+func (c *CounterImpl) Invoke(p *sched.Proc, op string, arg word.Value) word.Value {
+	switch op {
+	case spec.OpInc:
+		c.ctr.Inc(p)
+		return word.Unit{}
+	case spec.OpRead:
+		return word.Int(c.ctr.Read(p))
+	default:
+		panic(fmt.Sprintf("abd: counter does not implement %q", op))
+	}
+}

@@ -14,16 +14,25 @@ import (
 // Aτ, the predictive monitors — runs over message passing unchanged. This is
 // the package-level deliverable of the paper's porting remark.
 type RegisterImpl struct {
-	reg *Register
+	reg  *Register
+	name string
 }
 
 var _ sut.Impl = (*RegisterImpl)(nil)
 
 // NewRegisterImpl wraps an emulated register.
-func NewRegisterImpl(reg *Register) *RegisterImpl { return &RegisterImpl{reg: reg} }
+func NewRegisterImpl(reg *Register) *RegisterImpl {
+	return &RegisterImpl{reg: reg, name: "register/abd"}
+}
+
+// WithName overrides the reported implementation name (bug variants).
+func (r *RegisterImpl) WithName(name string) *RegisterImpl {
+	r.name = name
+	return r
+}
 
 // Name implements sut.Impl.
-func (r *RegisterImpl) Name() string { return "register/abd" }
+func (r *RegisterImpl) Name() string { return r.name }
 
 // Invoke implements sut.Impl.
 func (r *RegisterImpl) Invoke(p *sched.Proc, op string, arg word.Value) word.Value {

@@ -84,6 +84,40 @@ func TestRegenerateObjSeedCorpus(t *testing.T) {
 	}
 }
 
+// TestRegenerateMsgSeedCorpus rebuilds the committed message-family seed
+// corpus (testdata/corpus-msg); normally skipped. As with the object corpus,
+// the family keeps its own directory so mutation draws stay inside it.
+// Regenerate with:
+//
+//	EXPLORE_MSG_CORPUS_OUT=testdata/corpus-msg go test -run TestRegenerateMsgSeedCorpus -v ./internal/explore
+func TestRegenerateMsgSeedCorpus(t *testing.T) {
+	dir := os.Getenv("EXPLORE_MSG_CORPUS_OUT")
+	if dir == "" {
+		t.Skip("set EXPLORE_MSG_CORPUS_OUT=testdata/corpus-msg to regenerate the committed message corpus")
+	}
+	c, err := LoadCorpus(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Explore(Options{
+		Master: 3077, Scenarios: 900, Workers: runtime.NumCPU(),
+		Gen:    GenConfig{Families: []string{FamMsg}, MaxCrashes: 2},
+		Corpus: c, MutateFrac: 0.4, Round: 50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := c.SaveNew(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("coverage %d over %d scenarios (%d mutated, %d bug scenarios); saved %d new seeds to %s",
+		rep.Coverage, rep.Scenarios, rep.Mutated, rep.BugScenarios, n, dir)
+	for _, f := range rep.Failures {
+		t.Errorf("divergence while regenerating: %s %v", f.Spec, f.Divergences)
+	}
+}
+
 func mustSpec(t *testing.T, line string) Spec {
 	t.Helper()
 	s, err := ParseSpec(line)

@@ -45,54 +45,8 @@ func signatureOf(o *Outcome, res *monitor.Result) string {
 		b.WriteString("/out")
 	}
 
-	// Verdict-stream shape as counts over the processes (which process
-	// showed a shape rarely matters): how many opened on NO, how many hold
-	// NO in their tail window, how many reported nothing at all, and a
-	// capped bucket of the total verdict flips — the axis that separates
-	// converging monitors from oscillating ones.
-	firstNO, tailNO, silent, flips := 0, 0, 0, 0
-	for p := range res.Verdicts {
-		vs := res.Verdicts[p]
-		if len(vs) == 0 {
-			silent++
-			continue
-		}
-		if vs[0] == monitor.No {
-			firstNO++
-		}
-		if res.NOInTail(p, evalWindow) {
-			tailNO++
-		}
-		for k := 1; k < len(vs); k++ {
-			if vs[k] != vs[k-1] {
-				flips++
-			}
-		}
-	}
-	// Process counts fold as none/one/many (capBucket at 2): whether SOME
-	// process held NO or stayed silent separates behaviours, the exact
-	// count mostly echoes N.
-	b.WriteString("|vs=")
-	b.WriteString(strconv.Itoa(len(res.Verdicts)))
-	b.WriteByte('n')
-	b.WriteString(strconv.Itoa(capBucket(firstNO, 2)))
-	b.WriteString(strconv.Itoa(capBucket(tailNO, 2)))
-	b.WriteString(strconv.Itoa(capBucket(silent, 2)))
-	b.WriteString(strconv.Itoa(capBucket(log2Bucket(flips), 3)))
-
-	// Crash/verdict interleaving class, a sorted multiset over crashes: the
-	// quarter of the run the crash landed in and where it fell relative to
-	// the crashed process's verdict stream (before the first verdict,
-	// mid-stream, or after the last).
-	if len(o.Spec.Crashes) > 0 {
-		cxs := make([]string, 0, len(o.Spec.Crashes))
-		for _, c := range o.Spec.Crashes {
-			cxs = append(cxs, strconv.Itoa(quarter(c.Step, o.Spec.Steps))+crashPhase(c, res.StepAt[c.Proc]))
-		}
-		sort.Strings(cxs)
-		b.WriteString("|cx=")
-		b.WriteString(strings.Join(cxs, ","))
-	}
+	writeVerdictShape(&b, res)
+	writeCrashAxis(&b, o, res)
 
 	// Per-check ran/skipped vector in langCheckNames order: r ran, s
 	// skipped, - not applicable this run. The vector is pinned to the
@@ -116,6 +70,60 @@ func signatureOf(o *Outcome, res *monitor.Result) string {
 	// check names so each divergence kind is its own class.
 	writeNameFold(&b, "|dv=", o.Divergences, langCheckNames())
 	return b.String()
+}
+
+// writeVerdictShape renders the verdict-stream shape axis as counts over the
+// processes (which process showed a shape rarely matters): how many opened on
+// NO, how many hold NO in their tail window, how many reported nothing at
+// all, and a capped bucket of the total verdict flips — the axis that
+// separates converging monitors from oscillating ones. Process counts fold as
+// none/one/many (capBucket at 2): whether SOME process held NO or stayed
+// silent separates behaviours, the exact count mostly echoes N.
+func writeVerdictShape(b *strings.Builder, res *monitor.Result) {
+	firstNO, tailNO, silent, flips := 0, 0, 0, 0
+	for p := range res.Verdicts {
+		vs := res.Verdicts[p]
+		if len(vs) == 0 {
+			silent++
+			continue
+		}
+		if vs[0] == monitor.No {
+			firstNO++
+		}
+		if res.NOInTail(p, evalWindow) {
+			tailNO++
+		}
+		for k := 1; k < len(vs); k++ {
+			if vs[k] != vs[k-1] {
+				flips++
+			}
+		}
+	}
+	b.WriteString("|vs=")
+	b.WriteString(strconv.Itoa(len(res.Verdicts)))
+	b.WriteByte('n')
+	b.WriteString(strconv.Itoa(capBucket(firstNO, 2)))
+	b.WriteString(strconv.Itoa(capBucket(tailNO, 2)))
+	b.WriteString(strconv.Itoa(capBucket(silent, 2)))
+	b.WriteString(strconv.Itoa(capBucket(log2Bucket(flips), 3)))
+}
+
+// writeCrashAxis renders the crash/verdict interleaving class, a sorted
+// multiset over crashes: the quarter of the run the crash landed in and where
+// it fell relative to the crashed process's verdict stream (before the first
+// verdict, mid-stream, or after the last). Crash-free outcomes render
+// nothing.
+func writeCrashAxis(b *strings.Builder, o *Outcome, res *monitor.Result) {
+	if len(o.Spec.Crashes) == 0 {
+		return
+	}
+	cxs := make([]string, 0, len(o.Spec.Crashes))
+	for _, c := range o.Spec.Crashes {
+		cxs = append(cxs, strconv.Itoa(quarter(c.Step, o.Spec.Steps))+crashPhase(c, res.StepAt[c.Proc]))
+	}
+	sort.Strings(cxs)
+	b.WriteString("|cx=")
+	b.WriteString(strings.Join(cxs, ","))
 }
 
 // writeCheckVector renders the per-check ran/skipped vector over the given
@@ -181,42 +189,8 @@ func objSignature(o *Outcome, res *monitor.Result) string {
 	b.WriteByte('/')
 	b.WriteString(o.Spec.Impl)
 
-	firstNO, tailNO, silent, flips := 0, 0, 0, 0
-	for p := range res.Verdicts {
-		vs := res.Verdicts[p]
-		if len(vs) == 0 {
-			silent++
-			continue
-		}
-		if vs[0] == monitor.No {
-			firstNO++
-		}
-		if res.NOInTail(p, evalWindow) {
-			tailNO++
-		}
-		for k := 1; k < len(vs); k++ {
-			if vs[k] != vs[k-1] {
-				flips++
-			}
-		}
-	}
-	b.WriteString("|vs=")
-	b.WriteString(strconv.Itoa(len(res.Verdicts)))
-	b.WriteByte('n')
-	b.WriteString(strconv.Itoa(capBucket(firstNO, 2)))
-	b.WriteString(strconv.Itoa(capBucket(tailNO, 2)))
-	b.WriteString(strconv.Itoa(capBucket(silent, 2)))
-	b.WriteString(strconv.Itoa(capBucket(log2Bucket(flips), 3)))
-
-	if len(o.Spec.Crashes) > 0 {
-		cxs := make([]string, 0, len(o.Spec.Crashes))
-		for _, c := range o.Spec.Crashes {
-			cxs = append(cxs, strconv.Itoa(quarter(c.Step, o.Spec.Steps))+crashPhase(c, res.StepAt[c.Proc]))
-		}
-		sort.Strings(cxs)
-		b.WriteString("|cx=")
-		b.WriteString(strings.Join(cxs, ","))
-	}
+	writeVerdictShape(&b, res)
+	writeCrashAxis(&b, o, res)
 
 	b.WriteString("|ck=")
 	writeCheckVector(&b, o, ObjCheckNames())
@@ -234,6 +208,47 @@ func objSignature(o *Outcome, res *monitor.Result) string {
 	// Exposed planted bugs fold by oracle name, divergences by check name.
 	writeNameFold(&b, "|bug=", o.OracleFailures, oracleNames())
 	writeNameFold(&b, "|dv=", o.Divergences, ObjCheckNames())
+	return b.String()
+}
+
+// msgSignature is the message-passing family's coverage signature: the object
+// family's axes — anchored by the msg/object/impl triple — plus a network
+// axis, so schedules that differ in delivery order or loss pressure land in
+// distinct classes and guided mutation explores the network dimension too.
+// Language and object signatures fold over their own check lists and never
+// gain an axis here, so every committed drv1/drv2 corpus entry keeps its
+// signature bit for bit.
+func msgSignature(o *Outcome, res *monitor.Result) string {
+	var b strings.Builder
+	b.WriteString(sigVersion)
+	b.WriteByte(':')
+	b.WriteString(FamMsg)
+	b.WriteByte('/')
+	b.WriteString(o.Spec.Object)
+	b.WriteByte('/')
+	b.WriteString(o.Spec.Impl)
+
+	writeVerdictShape(&b, res)
+	writeCrashAxis(&b, o, res)
+
+	b.WriteString("|ck=")
+	writeCheckVector(&b, o, MsgCheckNames())
+
+	b.WriteString("|wl=")
+	b.WriteString(strconv.Itoa(capBucket(log2Bucket(o.Spec.OpsPerProc), 4)))
+	if !res.Drained {
+		b.WriteByte('t')
+	}
+
+	// Network axis: the delivery-order kind and a capped log₂ bucket of the
+	// loss-schedule length — none/light/heavy loss behave differently long
+	// before the exact indices matter.
+	b.WriteString("|nt=")
+	b.WriteString(o.Spec.NetOrder)
+	b.WriteString(strconv.Itoa(capBucket(log2Bucket(len(o.Spec.Drops)), 3)))
+
+	writeNameFold(&b, "|bug=", o.OracleFailures, oracleNames())
+	writeNameFold(&b, "|dv=", o.Divergences, MsgCheckNames())
 	return b.String()
 }
 

@@ -39,10 +39,22 @@
 // shrunk to minimal reproducers and summarized per implementation in the
 // report (see sutrun.go).
 //
+// A third family — the message-passing family, spec grammar drv3 — runs
+// objects emulated over asynchronous message passing (internal/msgnet): the
+// ABD register of package abd and the counter and consensus walks built on
+// it, each in a correct and a seeded-bug variant, under a deterministic
+// seeded network schedule (delivery order, delay, reorder and explicit
+// message loss) plus the usual crash schedule. The same Aτ + V_O stack
+// monitors the emulated object's history, the same oracle battery judges it,
+// and coverage signatures gain a network axis; shrinking gains a
+// message-schedule axis, dropping loss entries before crashes, processes,
+// operations and steps (see msgrun.go).
+//
 // cmd/drvexplore is the command-line front end; corpus_test.go pins a
 // regression corpus of interesting specs, and testdata/corpus
-// (language family) and testdata/corpus-obj (object family) hold the
-// committed seed corpora guided runs start from.
+// (language family), testdata/corpus-obj (object family) and
+// testdata/corpus-msg (message-passing family) hold the committed seed
+// corpora guided runs start from.
 package explore
 
 import (
@@ -316,10 +328,13 @@ func Explore(opts Options) (*Report, error) {
 				return nil, fmt.Errorf("explore: scenario %d (%s): %w", i, specs[i], errs[i])
 			}
 			out := outcomes[i]
-			if out.Spec.Fam() == FamObj {
+			if out.Spec.Fam() == FamObj || out.Spec.Fam() == FamMsg {
 				if rep.ByObject == nil {
 					rep.ByObject = map[string]int{}
 				}
+				// Keys stay unambiguous across families: the emulation slugs
+				// (abd, nowriteback, lost, coord, ...) never collide with the
+				// shared-memory ones.
 				rep.ByObject[out.Spec.Object+"/"+out.Spec.Impl]++
 			} else {
 				rep.ByLang[out.Spec.Lang]++
@@ -422,13 +437,27 @@ func ObjCheckNames() []string {
 	return names
 }
 
+// MsgCheckNames returns the message-passing family's differential checks,
+// sorted; the msg coverage signature's check vector folds over this list. The
+// family runs the object family's battery (the emulated object's history is
+// judged by the same oracles), but the list is its own so either family can
+// gain a check without re-classifying the other's committed corpus.
+func MsgCheckNames() []string {
+	names := []string{
+		CheckWellFormed, CheckCrashQuiet, CheckOracle, CheckBrute,
+		CheckMonitorLin, CheckReplay,
+	}
+	sort.Strings(names)
+	return names
+}
+
 // CheckNames returns the names of every differential check the explorer can
 // run across both scenario families, sorted and deduplicated; reports index
 // their Checks/Skipped maps by these.
 func CheckNames() []string {
 	seen := map[string]bool{}
 	var names []string
-	for _, name := range append(langCheckNames(), ObjCheckNames()...) {
+	for _, name := range append(append(langCheckNames(), ObjCheckNames()...), MsgCheckNames()...) {
 		if !seen[name] {
 			seen[name] = true
 			names = append(names, name)

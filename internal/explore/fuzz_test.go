@@ -24,11 +24,20 @@ func FuzzParseSpecRoundTrip(f *testing.F) {
 		"drv2:obj/queue/lifo:n=2:seed=7:pol=random:steps=900:ops=4:mb=0.5",
 		"drv2:obj/register/split:n=3:seed=9:pol=bursty:steps=700:ops=4:mb=0.25:crash=1@120",
 		"drv2:obj/ledger/snapshot:n=3:seed=5:pol=biased/0.7:steps=1200:ops=8:mb=0.8",
+		// Message-passing family, the drv3 grammar.
+		"drv3:msg/register/abd:n=3:seed=7:pol=random:steps=2000:ops=4:mb=0.5:net=fifo",
+		"drv3:msg/register/nowriteback:n=3:seed=61:pol=random:steps=3000:ops=4:mb=0.3:net=lifo",
+		"drv3:msg/counter/lost:n=3:seed=9:pol=bursty:steps=2400:ops=3:mb=0.5:net=random:drop=3,4,5:crash=1@120",
+		"drv3:msg/consensus/echo:n=4:seed=5:pol=biased/0.45:steps=1800:ops=2:mb=0.6:net=starve",
 		// Near-misses the parser must keep rejecting.
 		"drv1:obj/queue/lifo:n=2:seed=7:pol=random:steps=900:ops=4:mb=0.5",
 		"drv2:obj/queue/lifo:n=2:seed=7:pol=random:steps=900",
 		"drv0:WEC_COUNT/exact:n=3:seed=7:pol=random:steps=2600",
 		"drv1:WEC_COUNT/exact:n=3:n=4:seed=1:pol=random:steps=10",
+		"drv2:msg/register/abd:n=3:seed=7:pol=random:steps=2000:ops=4:mb=0.5:net=fifo",
+		"drv2:obj/queue/lifo:n=2:seed=7:pol=random:steps=900:ops=4:mb=0.5:net=fifo",
+		"drv3:msg/register/abd:n=3:seed=7:pol=random:steps=2000:ops=4:mb=0.5",
+		"drv3:msg/register/abd:n=3:seed=7:pol=random:steps=2000:ops=4:mb=0.5:net=lifo:drop=9,3",
 	} {
 		f.Add(seed)
 	}
@@ -47,9 +56,13 @@ func FuzzParseSpecRoundTrip(f *testing.F) {
 		}
 		// The canonical form carries the version-minimal tag per family.
 		switch s.Fam() {
+		case FamMsg:
+			if !strings.HasPrefix(re, specVersion+":"+FamMsg+"/") {
+				t.Fatalf("message spec %q did not canonicalize to the %s grammar: %q", line, specVersion, re)
+			}
 		case FamObj:
-			if !strings.HasPrefix(re, specVersion+":"+FamObj+"/") {
-				t.Fatalf("object spec %q did not canonicalize to the %s grammar: %q", line, specVersion, re)
+			if !strings.HasPrefix(re, objSpecVersion+":"+FamObj+"/") {
+				t.Fatalf("object spec %q did not canonicalize to the %s grammar: %q", line, objSpecVersion, re)
 			}
 		default:
 			if !strings.HasPrefix(re, legacySpecVersion+":") {
@@ -62,7 +75,7 @@ func FuzzParseSpecRoundTrip(f *testing.F) {
 			t.Fatalf("ParseSpec accepted %q but validate rejects it: %v", line, err)
 		}
 		// Mutating the version tag must reject: the tag gates the grammar.
-		for _, tag := range []string{"drv0", "drv3", "xrv1"} {
+		for _, tag := range []string{"drv0", "drv4", "xrv1"} {
 			if _, err := ParseSpec(tag + re[strings.Index(re, ":"):]); err == nil {
 				t.Fatalf("mutated version tag %q accepted on %q", tag, re)
 			}

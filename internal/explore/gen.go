@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"github.com/drv-go/drv/internal/lang"
+	"github.com/drv-go/drv/internal/msgnet"
 )
 
 // GenConfig constrains random scenario generation.
@@ -34,6 +35,9 @@ type GenConfig struct {
 	// label-based differential checks, so the generator keeps both kinds in
 	// the mix.
 	CrashProb float64
+	// NetOrders restricts message-passing scenarios to these delivery-order
+	// kinds (msgnet.OrderFIFO etc.); empty means all four.
+	NetOrders []string
 }
 
 // families resolves the family set, defaulting to the language family.
@@ -48,7 +52,7 @@ func (g GenConfig) families() []string {
 // sets.
 func (g GenConfig) validate() error {
 	for _, fam := range g.Families {
-		if fam != FamLang && fam != FamObj {
+		if fam != FamLang && fam != FamObj && fam != FamMsg {
 			return fmt.Errorf("explore: unknown scenario family %q", fam)
 		}
 	}
@@ -57,8 +61,9 @@ func (g GenConfig) validate() error {
 			return err
 		}
 	}
+	msg := g.hasFamily(FamMsg)
 	for _, name := range g.Objects {
-		if ImplsOf(name) == nil {
+		if ImplsOf(name) == nil && !(msg && MsgImplsOf(name) != nil) {
 			return fmt.Errorf("explore: unknown object %q", name)
 		}
 	}
@@ -71,14 +76,48 @@ func (g GenConfig) validate() error {
 				}
 			}
 		}
+		if msg {
+			for _, object := range g.msgObjects() {
+				for _, have := range MsgImplsOf(object) {
+					if have == impl {
+						found = true
+					}
+				}
+			}
+		}
 		if !found {
 			return fmt.Errorf("explore: no selected object has an implementation %q", impl)
+		}
+	}
+	// A selected family must have something to draw: object filters naming
+	// only the other family's objects would otherwise panic deep in NewSpec.
+	for _, fam := range g.families() {
+		switch {
+		case fam == FamObj && len(g.drawableObjects()) == 0:
+			return fmt.Errorf("explore: no selected object is drawable in the %s family", FamObj)
+		case fam == FamMsg && len(g.drawableMsgObjects()) == 0:
+			return fmt.Errorf("explore: no selected object is drawable in the %s family", FamMsg)
+		}
+	}
+	for _, order := range g.NetOrders {
+		if err := (msgnet.Schedule{Order: order}).Validate(); err != nil {
+			return err
 		}
 	}
 	if g.MaxCrashes < 0 {
 		return fmt.Errorf("explore: negative MaxCrashes %d", g.MaxCrashes)
 	}
 	return nil
+}
+
+// hasFamily reports whether the resolved family set includes fam.
+func (g GenConfig) hasFamily(fam string) bool {
+	for _, have := range g.families() {
+		if have == fam {
+			return true
+		}
+	}
+	return false
 }
 
 // objects resolves the object set, defaulting to the whole registry.
@@ -117,6 +156,54 @@ func (g GenConfig) drawableObjects() []string {
 		}
 	}
 	return keep
+}
+
+// msgObjects resolves the emulated-object set, defaulting to the whole
+// message registry.
+func (g GenConfig) msgObjects() []string {
+	if len(g.Objects) == 0 {
+		return MsgObjects()
+	}
+	return g.Objects
+}
+
+// msgImplsFor returns the object's emulation slugs allowed by the Impls
+// filter, in registry order.
+func (g GenConfig) msgImplsFor(object string) []string {
+	all := MsgImplsOf(object)
+	if len(g.Impls) == 0 {
+		return all
+	}
+	var keep []string
+	for _, name := range all {
+		for _, want := range g.Impls {
+			if name == want {
+				keep = append(keep, name)
+			}
+		}
+	}
+	return keep
+}
+
+// drawableMsgObjects returns the emulated objects that still have at least
+// one allowed emulation under the filters.
+func (g GenConfig) drawableMsgObjects() []string {
+	var keep []string
+	for _, object := range g.msgObjects() {
+		if len(g.msgImplsFor(object)) > 0 {
+			keep = append(keep, object)
+		}
+	}
+	return keep
+}
+
+// netOrders resolves the delivery-order set, defaulting to all four kinds in
+// msgnet's declaration order.
+func (g GenConfig) netOrders() []string {
+	if len(g.NetOrders) == 0 {
+		return []string{msgnet.OrderFIFO, msgnet.OrderLIFO, msgnet.OrderRandom, msgnet.OrderStarve}
+	}
+	return g.NetOrders
 }
 
 func langByName(name string) (lang.Lang, error) {
@@ -169,6 +256,9 @@ func NewSpec(master int64, index int, cfg GenConfig) Spec {
 	}
 	if fam == FamObj {
 		return newObjSpec(rng, cfg)
+	}
+	if fam == FamMsg {
+		return newMsgSpec(rng, cfg)
 	}
 	names := cfg.Langs
 	if len(names) == 0 {
@@ -254,6 +344,67 @@ func newObjSpec(rng *rand.Rand, cfg GenConfig) Spec {
 	s.MutBias = float64(2+rng.Intn(7)) / 10 // 0.2..0.8, exact decimals
 
 	lo, hi := objStepRange()
+	s.Steps = lo + rng.Intn(hi-lo+1)
+	if cfg.MaxSteps > 0 && s.Steps > cfg.MaxSteps {
+		s.Steps = cfg.MaxSteps
+	}
+
+	genCrashes(&s, rng, cfg)
+	return s
+}
+
+// msgStepRange is the scheduler-step band message-passing scenarios draw
+// from. One emulated operation costs tens of steps (two quorum RPCs, each a
+// broadcast plus parked receives, with one delivery-actor step per message),
+// so the band sits well above the object family's; the ceiling drains the
+// largest workloads at n=5 while the floor keeps truncated runs — loss
+// schedules starving a quorum forever, crashes parking clients mid-RPC — in
+// the mix.
+func msgStepRange() (lo, hi int) { return 600, 6000 }
+
+// newMsgSpec draws one message-passing scenario from the rng. Two draws are
+// deliberately skewed toward the protocol bugs' exposure windows: the process
+// count reaches 5 (partial-propagation races need quorums that can miss each
+// other), and the loss schedule is a contiguous run of send indices (dropping
+// the tail of one broadcast, which a uniform scatter almost never does).
+func newMsgSpec(rng *rand.Rand, cfg GenConfig) Spec {
+	objects := cfg.drawableMsgObjects()
+	object := objects[rng.Intn(len(objects))]
+	impls := cfg.msgImplsFor(object)
+	s := Spec{
+		Family: FamMsg,
+		Object: object,
+		Impl:   impls[rng.Intn(len(impls))],
+		N:      2 + rng.Intn(4), // 2..5 processes
+		Seed:   rng.Int63(),
+	}
+
+	// Same policy menu as the object family: no word cursor exists, so the
+	// cursor policy stays out; a biased policy's cursor lands on the network
+	// delivery actor (see executeMsg), making it a delivery-eager schedule.
+	switch rng.Intn(3) {
+	case 0:
+		s.Policy = PolRandom
+	case 1:
+		s.Policy = PolBursty
+	default:
+		s.Policy = PolBiased
+		s.Bias = float64(30+5*rng.Intn(11)) / 100 // 0.30..0.80
+	}
+
+	s.OpsPerProc = 1 + rng.Intn(6)          // 1..6 operations per process
+	s.MutBias = float64(2+rng.Intn(7)) / 10 // 0.2..0.8, exact decimals
+
+	orders := cfg.netOrders()
+	s.NetOrder = orders[rng.Intn(len(orders))]
+	if rng.Intn(5) < 2 { // 40% of scenarios are lossy
+		start := rng.Intn(40)
+		for k, run := 0, 1+rng.Intn(6); k < run; k++ {
+			s.Drops = append(s.Drops, start+k)
+		}
+	}
+
+	lo, hi := msgStepRange()
 	s.Steps = lo + rng.Intn(hi-lo+1)
 	if cfg.MaxSteps > 0 && s.Steps > cfg.MaxSteps {
 		s.Steps = cfg.MaxSteps

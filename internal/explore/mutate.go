@@ -10,6 +10,9 @@ package explore
 
 import (
 	"math/rand"
+	"sort"
+
+	"github.com/drv-go/drv/internal/msgnet"
 )
 
 // Mutation step-bound rails: mutations scale a parent's bound by 0.5–1.5×
@@ -53,6 +56,29 @@ var objMutators = []func(*Spec, *rand.Rand, GenConfig) bool{
 	mutCrashDrop,
 }
 
+// msgMutators is the message-passing family's op list: the object family's
+// axes plus the network ones — the delivery-order swap and the loss-schedule
+// perturbations, the axis the partial-propagation bugs are most sensitive
+// to. Like the other lists, its length and order are part of the replay
+// contract for guided sweeps.
+var msgMutators = []func(*Spec, *rand.Rand, GenConfig) bool{
+	mutReseed,
+	mutPolicy,
+	mutBias,
+	mutSteps,
+	mutProcs,
+	mutImpl,
+	mutOps,
+	mutMutBias,
+	mutNetOrder,
+	mutDropInsert,
+	mutDropShift,
+	mutDropClear,
+	mutCrashInsert,
+	mutCrashMove,
+	mutCrashDrop,
+}
+
 // Mutate derives a child spec from a corpus parent: one primary mutation
 // plus a geometric tail of extras, re-canonicalized (crash order, bounds)
 // after each op. The child is always executable; if a mutation chain ever
@@ -68,9 +94,16 @@ func Mutate(parent Spec, rng *rand.Rand, cfg GenConfig) Spec {
 	// compacts it in place, which must never reach through the copied slice
 	// header into the corpus entry the parent came from.
 	s.Crashes = append([]Crash(nil), parent.Crashes...)
+	s.Drops = append([]int(nil), parent.Drops...)
+	if len(s.Drops) == 0 {
+		s.Drops = nil
+	}
 	ops := langMutators
-	if s.Fam() == FamObj {
+	switch s.Fam() {
+	case FamObj:
 		ops = objMutators
+	case FamMsg:
+		ops = msgMutators
 	}
 	mutated := false
 	for round := 0; round < 4; round++ {
@@ -90,8 +123,29 @@ func Mutate(parent Spec, rng *rand.Rand, cfg GenConfig) Spec {
 
 // canonicalize restores the spec invariants a mutation chain may have bent:
 // crash schedule in step-then-process order, one crash per process (the
-// earliest wins), every crash step inside [1, Steps−1], at most N−1 crashes.
+// earliest wins), every crash step inside [1, Steps−1], at most N−1 crashes;
+// for message-passing specs also a strictly increasing in-bounds loss
+// schedule of at most msgnet.MaxScheduleDrops entries.
 func canonicalize(s *Spec) {
+	if len(s.Drops) > 0 {
+		sort.Ints(s.Drops)
+		kept := s.Drops[:0]
+		prev := -1
+		for _, k := range s.Drops {
+			if k < 0 || k > msgnet.MaxScheduleDropIdx || k == prev {
+				continue
+			}
+			kept = append(kept, k)
+			prev = k
+		}
+		if len(kept) > msgnet.MaxScheduleDrops {
+			kept = kept[:msgnet.MaxScheduleDrops]
+		}
+		if len(kept) == 0 {
+			kept = nil
+		}
+		s.Drops = kept
+	}
 	sortCrashes(s.Crashes)
 	kept := s.Crashes[:0]
 	crashed := map[int]bool{}
@@ -120,12 +174,13 @@ func mutReseed(s *Spec, rng *rand.Rand, _ GenConfig) bool {
 
 // mutPolicy swaps the scheduling policy kind; a swap to biased draws a
 // fresh, unquantized bias. Redrawing the parent's own kind is only a
-// mutation for biased (the bias itself changed). Object scenarios skip the
-// cursor kind — with no word cursor it degenerates to the random policy.
+// mutation for biased (the bias itself changed). Object and message-passing
+// scenarios skip the cursor kind — with no word cursor it degenerates to the
+// random policy.
 func mutPolicy(s *Spec, rng *rand.Rand, _ GenConfig) bool {
 	old := s.Policy
 	kinds := []string{PolRandom, PolBursty, PolCursor, PolBiased}
-	if s.Fam() == FamObj {
+	if s.Fam() != FamLang {
 		kinds = []string{PolRandom, PolBursty, PolBiased}
 	}
 	s.Policy = kinds[rng.Intn(len(kinds))]
@@ -171,10 +226,11 @@ func mutSteps(s *Spec, rng *rand.Rand, cfg GenConfig) bool {
 	return true
 }
 
-// mutProcs grows or shrinks the process count within the generator's 2–4
-// band (a parent already outside the band is left there); a language
-// scenario's source is re-picked if the parent's name does not exist at the
-// new count (object implementations exist at every count).
+// mutProcs grows or shrinks the process count within the generator's band —
+// 2–4, except 2–5 for message-passing scenarios, whose quorum-geometry bugs
+// need the larger counts (a parent already outside the band is left there);
+// a language scenario's source is re-picked if the parent's name does not
+// exist at the new count (object implementations exist at every count).
 func mutProcs(s *Spec, rng *rand.Rand, _ GenConfig) bool {
 	n := s.N
 	if rng.Intn(2) == 0 {
@@ -182,7 +238,11 @@ func mutProcs(s *Spec, rng *rand.Rand, _ GenConfig) bool {
 	} else {
 		n++
 	}
-	if n < 2 || n > 4 || n == s.N {
+	hi := 4
+	if s.Fam() == FamMsg {
+		hi = 5
+	}
+	if n < 2 || n > hi || n == s.N {
 		return false
 	}
 	s.N = n
@@ -195,9 +255,12 @@ func mutProcs(s *Spec, rng *rand.Rand, _ GenConfig) bool {
 // mutImpl swaps the implementation for another of the parent's object — the
 // axis that carries a bug-exposing schedule from a correct implementation to
 // a seeded-bug one and back. A draw that lands on the current implementation
-// is not a mutation.
+// is not a mutation. Message-passing parents swap within their own registry.
 func mutImpl(s *Spec, rng *rand.Rand, _ GenConfig) bool {
 	impls := ImplsOf(s.Object)
+	if s.Fam() == FamMsg {
+		impls = MsgImplsOf(s.Object)
+	}
 	if len(impls) < 2 {
 		return false
 	}
@@ -213,7 +276,7 @@ func mutImpl(s *Spec, rng *rand.Rand, _ GenConfig) bool {
 // mutOps perturbs the per-process operation budget by ±1..3 within the
 // spec's valid band.
 func mutOps(s *Spec, rng *rand.Rand, _ GenConfig) bool {
-	if s.Fam() != FamObj {
+	if s.Fam() != FamObj && s.Fam() != FamMsg {
 		return false
 	}
 	delta := 1 + rng.Intn(3)
@@ -236,7 +299,7 @@ func mutOps(s *Spec, rng *rand.Rand, _ GenConfig) bool {
 
 // mutMutBias perturbs the workload's mutate bias without leaving [0,1].
 func mutMutBias(s *Spec, rng *rand.Rand, _ GenConfig) bool {
-	if s.Fam() != FamObj {
+	if s.Fam() != FamObj && s.Fam() != FamMsg {
 		return false
 	}
 	s.MutBias += (rng.Float64() - 0.5) * 0.4
@@ -246,6 +309,64 @@ func mutMutBias(s *Spec, rng *rand.Rand, _ GenConfig) bool {
 	if s.MutBias > 1 {
 		s.MutBias = 1
 	}
+	return true
+}
+
+// mutNetOrder swaps the message delivery-order kind; a draw that lands on
+// the parent's own kind is not a mutation. The config's NetOrders filter
+// does not gate the swap — like the family filters, a corpus parent's
+// network shape is the caller's choice to perturb.
+func mutNetOrder(s *Spec, rng *rand.Rand, _ GenConfig) bool {
+	if s.Fam() != FamMsg {
+		return false
+	}
+	kinds := []string{msgnet.OrderFIFO, msgnet.OrderLIFO, msgnet.OrderRandom, msgnet.OrderStarve}
+	old := s.NetOrder
+	s.NetOrder = kinds[rng.Intn(len(kinds))]
+	return s.NetOrder != old
+}
+
+// mutDropInsert splices a contiguous run of 1..4 dropped send indices into
+// the loss schedule — contiguous runs truncate one broadcast's tail, the
+// shape that opens partial-propagation windows. canonicalize merges, dedups
+// and caps the result.
+func mutDropInsert(s *Spec, rng *rand.Rand, _ GenConfig) bool {
+	if s.Fam() != FamMsg || len(s.Drops) >= msgnet.MaxScheduleDrops {
+		return false
+	}
+	start := rng.Intn(60)
+	for k, run := 0, 1+rng.Intn(4); k < run; k++ {
+		s.Drops = append(s.Drops, start+k)
+	}
+	return true
+}
+
+// mutDropShift slides the whole loss schedule by ±1..8 send indices, keeping
+// its run structure while moving it across broadcast boundaries.
+func mutDropShift(s *Spec, rng *rand.Rand, _ GenConfig) bool {
+	if s.Fam() != FamMsg || len(s.Drops) == 0 {
+		return false
+	}
+	delta := 1 + rng.Intn(8)
+	if rng.Intn(2) == 0 {
+		delta = -delta
+	}
+	for i := range s.Drops {
+		s.Drops[i] += delta
+		if s.Drops[i] < 0 {
+			s.Drops[i] = 0
+		}
+	}
+	return true
+}
+
+// mutDropClear empties the loss schedule, returning the parent to a reliable
+// network.
+func mutDropClear(s *Spec, _ *rand.Rand, _ GenConfig) bool {
+	if s.Fam() != FamMsg || len(s.Drops) == 0 {
+		return false
+	}
+	s.Drops = nil
 	return true
 }
 

@@ -111,6 +111,9 @@ func (r Runner) Execute(s Spec) (*Outcome, error) {
 	if s.Fam() == FamObj {
 		return r.executeObj(s)
 	}
+	if s.Fam() == FamMsg {
+		return r.executeMsg(s)
+	}
 	l, err := langByName(s.Lang)
 	if err != nil {
 		return nil, err

@@ -17,8 +17,9 @@ package explore
 // defaultShrinkBudget bounds candidate executions per shrink.
 const defaultShrinkBudget = 200
 
-// ShrinkSpec minimizes the divergent spec along up to four axes, in order:
-// fewer crashes, fewer processes, fewer workload operations (object family),
+// ShrinkSpec minimizes the divergent spec along up to five axes, in order:
+// fewer crashes, fewer dropped messages (message-passing family), fewer
+// processes, fewer workload operations (object and message-passing families),
 // fewer scheduler steps. It returns the smallest divergent spec found
 // together with its divergences; when the original spec itself no longer
 // diverges (a nondeterministic monitor — in itself a finding the replay
@@ -77,6 +78,26 @@ func shrinkWhere(s Spec, r Runner, budget int, pick func(*Outcome) []Divergence)
 		}
 	}
 
+	// Axis 1b (message-passing family): the loss schedule. Try a reliable
+	// network first, then dropping entries one at a time — a reproducer
+	// whose bug survives without message loss is simpler to reason about
+	// than one threading a loss schedule through it.
+	if best.Fam() == FamMsg && len(best.Drops) > 0 {
+		if diverges(withDrops(best, nil)) {
+			best.Drops = nil
+		}
+	}
+	for i := 0; i < len(best.Drops); {
+		ds := make([]int, 0, len(best.Drops)-1)
+		ds = append(ds, best.Drops[:i]...)
+		ds = append(ds, best.Drops[i+1:]...)
+		if diverges(withDrops(best, ds)) {
+			best.Drops = ds
+		} else {
+			i++
+		}
+	}
+
 	// Axis 2: processes. Crash schedules naming dropped processes are
 	// discarded first — a reproducer with fewer processes beats one with
 	// more crashes.
@@ -95,10 +116,11 @@ func shrinkWhere(s Spec, r Runner, budget int, pick func(*Outcome) []Divergence)
 		best = cand
 	}
 
-	// Axis 3 (object family): the per-process operation budget. Halve while
-	// the finding survives, then a short linear pass; fewer operations make
-	// the eventual step-bound reproducer read as a near-sequential script.
-	if best.Fam() == FamObj {
+	// Axis 3 (object and message-passing families): the per-process
+	// operation budget. Halve while the finding survives, then a short
+	// linear pass; fewer operations make the eventual step-bound reproducer
+	// read as a near-sequential script.
+	if best.Fam() == FamObj || best.Fam() == FamMsg {
 		withOps := func(ops int) Spec {
 			cand := best
 			cand.OpsPerProc = ops
@@ -144,6 +166,11 @@ func shrinkWhere(s Spec, r Runner, budget int, pick func(*Outcome) []Divergence)
 
 func withCrashes(s Spec, cs []Crash) Spec {
 	s.Crashes = cs
+	return s
+}
+
+func withDrops(s Spec, ds []int) Spec {
+	s.Drops = ds
 	return s
 }
 

@@ -6,19 +6,24 @@ import (
 	"strings"
 
 	"github.com/drv-go/drv/internal/monitor"
+	"github.com/drv-go/drv/internal/msgnet"
 )
 
-// Spec wire-format versions. drv2 is the current grammar: it adds the
+// Spec wire-format versions. drv3 is the current grammar: it adds the
+// message-passing family (a "msg/<object>/<impl>" head plus the net= and
+// drop= network-schedule fields) on top of drv2, which added the
 // object-execution family (an "obj/<object>/<impl>" head plus the ops= and
 // mb= workload fields) on top of the drv1 language-scenario grammar. The
-// encoder is version-minimal: a spec expressible in the drv1 grammar renders
-// with the drv1 tag, so every pre-drv2 corpus line and report stays byte
-// stable; object specs require — and render with — the drv2 tag. ParseSpec
-// accepts both tags, but rejects drv2-only constructs under a drv1 tag, so a
-// stale tool that knows only drv1 fails loudly instead of replaying a
-// different execution.
+// grammars are cumulative — drv3 accepts every drv1 and drv2 construct — and
+// the encoder is version-minimal: a spec expressible in an older grammar
+// renders with that grammar's tag, so every pre-drv3 corpus line and report
+// stays byte stable; message-passing specs require — and render with — the
+// drv3 tag. ParseSpec accepts all three tags, but rejects newer-grammar
+// constructs under an older tag, so a stale tool that knows only the older
+// grammar fails loudly instead of replaying a different execution.
 const (
-	specVersion       = "drv2"
+	specVersion       = "drv3"
+	objSpecVersion    = "drv2"
 	legacySpecVersion = "drv1"
 )
 
@@ -34,6 +39,12 @@ const (
 	// FamObj is the object-execution family: Spec.Object/Impl name a sut
 	// implementation, Spec.OpsPerProc/MutBias shape its random workload.
 	FamObj = "obj"
+	// FamMsg is the message-passing family: Spec.Object/Impl name an
+	// emulated object over internal/msgnet (ABD registers and the snapshot-
+	// counter and consensus walks built on them), Spec.NetOrder/Drops pick
+	// the deterministic message delivery-and-loss schedule, and the workload
+	// fields mean what they mean for FamObj.
+	FamMsg = "msg"
 )
 
 // Fam returns the scenario family, resolving the empty legacy value to
@@ -102,6 +113,12 @@ type Spec struct {
 	// MutBias weights mutating operations in the random workload; FamObj
 	// only.
 	MutBias float64 `json:"mut_bias,omitempty"`
+	// NetOrder is the message delivery-order kind (msgnet.OrderFIFO etc.);
+	// the order's seed, where one is needed, derives from Seed. FamMsg only.
+	NetOrder string `json:"net,omitempty"`
+	// Drops is the deterministic message-loss schedule: global send indices
+	// the network discards, strictly increasing. FamMsg only.
+	Drops []int `json:"drops,omitempty"`
 	// Crashes is the crash schedule, in increasing step order.
 	Crashes []Crash `json:"crashes,omitempty"`
 }
@@ -114,15 +131,20 @@ const maxOpsPerProc = 64
 //
 //	drv1:WEC_COUNT/exact:n=3:seed=42:pol=biased/0.5:steps=2400:crash=1@120,0@300
 //	drv2:obj/queue/lifo:n=3:seed=42:pol=random:steps=900:ops=5:mb=0.5:crash=1@120
+//	drv3:msg/register/abd:n=3:seed=42:pol=random:steps=2000:ops=4:mb=0.3:net=lifo:drop=3,4,5:crash=1@120
 //
-// Language specs render with the drv1 tag (the version-minimal encoding, so
-// pre-drv2 corpora replay and dedup byte-for-byte); object specs need the
-// drv2 grammar and render with its tag.
+// The encoding is version-minimal: language specs render with the drv1 tag
+// and object specs with drv2 (so pre-drv3 corpora replay and dedup
+// byte-for-byte); message-passing specs need the drv3 grammar and render with
+// its tag.
 func (s Spec) String() string {
 	var b strings.Builder
-	if s.Fam() == FamObj {
-		fmt.Fprintf(&b, "%s:%s/%s/%s", specVersion, FamObj, s.Object, s.Impl)
-	} else {
+	switch s.Fam() {
+	case FamMsg:
+		fmt.Fprintf(&b, "%s:%s/%s/%s", specVersion, FamMsg, s.Object, s.Impl)
+	case FamObj:
+		fmt.Fprintf(&b, "%s:%s/%s/%s", objSpecVersion, FamObj, s.Object, s.Impl)
+	default:
 		fmt.Fprintf(&b, "%s:%s/%s", legacySpecVersion, s.Lang, s.Source)
 	}
 	fmt.Fprintf(&b, ":n=%d:seed=%d:pol=%s", s.N, s.Seed, s.Policy)
@@ -135,8 +157,14 @@ func (s Spec) String() string {
 		b.WriteString(strconv.FormatFloat(s.Bias, 'g', -1, 64))
 	}
 	fmt.Fprintf(&b, ":steps=%d", s.Steps)
-	if s.Fam() == FamObj {
+	if s.Fam() == FamObj || s.Fam() == FamMsg {
 		fmt.Fprintf(&b, ":ops=%d:mb=%s", s.OpsPerProc, strconv.FormatFloat(s.MutBias, 'g', -1, 64))
+	}
+	if s.Fam() == FamMsg {
+		fmt.Fprintf(&b, ":net=%s", s.NetOrder)
+		if len(s.Drops) > 0 {
+			fmt.Fprintf(&b, ":drop=%s", msgnet.FormatDrops(s.Drops))
+		}
 	}
 	if len(s.Crashes) > 0 {
 		b.WriteString(":crash=")
@@ -150,26 +178,42 @@ func (s Spec) String() string {
 	return b.String()
 }
 
-// ParseSpec parses the String encoding back into a Spec. Both the current
-// drv2 tag and the legacy drv1 tag are accepted; the object family and the
-// workload fields are drv2-only constructs and are rejected under drv1.
+// ParseSpec parses the String encoding back into a Spec. All three version
+// tags are accepted; newer-grammar constructs (the object family and workload
+// fields under drv1, the message-passing family and network fields under
+// drv1/drv2) are rejected under older tags.
 func ParseSpec(in string) (Spec, error) {
 	var s Spec
 	fields := strings.Split(strings.TrimSpace(in), ":")
-	if len(fields) < 2 || (fields[0] != specVersion && fields[0] != legacySpecVersion) {
-		return s, fmt.Errorf("explore: spec %q does not start with %q or %q", in, specVersion, legacySpecVersion)
+	var grammar int
+	if len(fields) >= 2 {
+		switch fields[0] {
+		case legacySpecVersion:
+			grammar = 1
+		case objSpecVersion:
+			grammar = 2
+		case specVersion:
+			grammar = 3
+		}
 	}
-	legacy := fields[0] == legacySpecVersion
+	if grammar == 0 {
+		return s, fmt.Errorf("explore: spec %q does not start with %q, %q or %q", in, specVersion, objSpecVersion, legacySpecVersion)
+	}
 	head := strings.Split(fields[1], "/")
 	switch {
-	case head[0] == FamObj:
-		if legacy {
-			return s, fmt.Errorf("explore: spec %q uses the object family under the %s tag (needs %s)", in, legacySpecVersion, specVersion)
+	case head[0] == FamObj || head[0] == FamMsg:
+		fam := head[0]
+		need := 2
+		if fam == FamMsg {
+			need = 3
+		}
+		if grammar < need {
+			return s, fmt.Errorf("explore: spec %q uses the %s family under the %s tag (needs drv%d)", in, fam, fields[0], need)
 		}
 		if len(head) != 3 || head[1] == "" || head[2] == "" {
-			return s, fmt.Errorf("explore: spec %q lacks an obj/object/impl head", in)
+			return s, fmt.Errorf("explore: spec %q lacks a %s/object/impl head", in, fam)
 		}
-		s.Family, s.Object, s.Impl = FamObj, head[1], head[2]
+		s.Family, s.Object, s.Impl = fam, head[1], head[2]
 	case len(head) == 2 && head[0] != "" && head[1] != "":
 		s.Lang, s.Source = head[0], head[1]
 	default:
@@ -202,15 +246,25 @@ func ParseSpec(in string) (Spec, error) {
 		case "steps":
 			s.Steps, err = strconv.Atoi(kv[1])
 		case "ops":
-			if legacy {
-				return s, fmt.Errorf("explore: spec field %q is %s-only", f, specVersion)
+			if grammar < 2 {
+				return s, fmt.Errorf("explore: spec field %q needs the %s grammar", f, objSpecVersion)
 			}
 			s.OpsPerProc, err = strconv.Atoi(kv[1])
 		case "mb":
-			if legacy {
-				return s, fmt.Errorf("explore: spec field %q is %s-only", f, specVersion)
+			if grammar < 2 {
+				return s, fmt.Errorf("explore: spec field %q needs the %s grammar", f, objSpecVersion)
 			}
 			s.MutBias, err = strconv.ParseFloat(kv[1], 64)
+		case "net":
+			if grammar < 3 {
+				return s, fmt.Errorf("explore: spec field %q needs the %s grammar", f, specVersion)
+			}
+			s.NetOrder = kv[1]
+		case "drop":
+			if grammar < 3 {
+				return s, fmt.Errorf("explore: spec field %q needs the %s grammar", f, specVersion)
+			}
+			s.Drops, err = msgnet.ParseDrops(kv[1])
 		case "crash":
 			for _, part := range strings.Split(kv[1], ",") {
 				var c Crash
@@ -236,7 +290,7 @@ func ParseSpec(in string) (Spec, error) {
 // validate rejects specs that cannot execute.
 func (s Spec) validate() error {
 	switch {
-	case s.Fam() != FamLang && s.Fam() != FamObj:
+	case s.Fam() != FamLang && s.Fam() != FamObj && s.Fam() != FamMsg:
 		return fmt.Errorf("explore: unknown scenario family %q", s.Family)
 	case s.N < 1:
 		return fmt.Errorf("explore: spec needs n ≥ 1, got %d", s.N)
@@ -291,8 +345,10 @@ func (s Spec) validate() error {
 }
 
 // validateFamily checks the family-specific half of the spec: language
-// scenarios must not carry workload fields, object scenarios must name a
-// known implementation and a sane workload.
+// scenarios must not carry workload or network fields, object and
+// message-passing scenarios must name a known implementation and a sane
+// workload, and only message-passing scenarios may (and must) carry a network
+// schedule.
 func (s Spec) validateFamily() error {
 	if s.Fam() == FamLang {
 		switch {
@@ -300,23 +356,36 @@ func (s Spec) validateFamily() error {
 			return fmt.Errorf("explore: language spec carries object fields %q/%q", s.Object, s.Impl)
 		case s.OpsPerProc != 0 || s.MutBias != 0:
 			return fmt.Errorf("explore: language spec carries workload fields ops=%d mb=%v", s.OpsPerProc, s.MutBias)
+		case s.NetOrder != "" || len(s.Drops) > 0:
+			return fmt.Errorf("explore: language spec carries network fields net=%q drop=%v", s.NetOrder, s.Drops)
 		}
 		return nil
 	}
 	switch {
 	case s.Lang != "" || s.Source != "":
-		return fmt.Errorf("explore: object spec carries language fields %q/%q", s.Lang, s.Source)
+		return fmt.Errorf("explore: %s spec carries language fields %q/%q", s.Fam(), s.Lang, s.Source)
 	case s.OpsPerProc < 1 || s.OpsPerProc > maxOpsPerProc:
-		return fmt.Errorf("explore: object spec needs ops in [1,%d], got %d", maxOpsPerProc, s.OpsPerProc)
+		return fmt.Errorf("explore: %s spec needs ops in [1,%d], got %d", s.Fam(), maxOpsPerProc, s.OpsPerProc)
 	}
 	// Negated-range form for the same NaN reason as the policy bias.
 	if !(s.MutBias >= 0 && s.MutBias <= 1) {
 		return fmt.Errorf("explore: workload mutate bias %v outside [0,1]", s.MutBias)
 	}
-	if _, _, err := implByName(s.Object, s.Impl); err != nil {
+	if s.Fam() == FamObj {
+		if s.NetOrder != "" || len(s.Drops) > 0 {
+			return fmt.Errorf("explore: object spec carries network fields net=%q drop=%v", s.NetOrder, s.Drops)
+		}
+		_, _, err := implByName(s.Object, s.Impl)
 		return err
 	}
-	return nil
+	// The network schedule validates through the msgnet codec itself, so the
+	// spec grammar and the schedule grammar cannot drift apart. The order's
+	// seed derives from Seed at execution time; 0 stands in for it here.
+	if err := (msgnet.Schedule{Order: s.NetOrder, Drops: s.Drops}).Validate(); err != nil {
+		return err
+	}
+	_, _, err := msgImplByName(s.Object, s.Impl)
+	return err
 }
 
 // mix derives an independent 64-bit stream from two seeds via one splitmix64

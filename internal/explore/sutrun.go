@@ -256,6 +256,18 @@ const bruteOpsCap = 7
 // divergences (guaranteed properties violated, checker disagreement, monitor
 // unsoundness) and oracle failures (planted bugs exposed) to the outcome.
 func runObjChecks(out *Outcome, od objDef, id implDef, res *monitor.Result, tau *adversary.Timed) {
+	runHistoryChecks(out, od.obj, od.safetyName, od.safety, id.lin, id.safe, false, res, tau)
+}
+
+// runHistoryChecks is the check battery shared by the object and
+// message-passing families: the exhibited history against the class oracles
+// (split into divergences and bug findings by the implementation's ground
+// truth linOK/safeOK), the brute-force differential on small histories, and
+// the monitor's verdict stream against the offline oracle. lossy marks runs
+// whose network schedule dropped messages; like a crash, a dropped message
+// can strand the violating operation pending, so it gates the completeness
+// half of the monitor check.
+func runHistoryChecks(out *Outcome, obj spec.Object, safetyName string, safety func(spec.Object, word.Word, []word.Operation) string, linOK, safeOK, lossy bool, res *monitor.Result, tau *adversary.Timed) {
 	s := out.Spec
 	crashed := len(s.Crashes) > 0
 
@@ -270,24 +282,24 @@ func runObjChecks(out *Outcome, od objDef, id implDef, res *monitor.Result, tau 
 	}
 
 	ops := word.Operations(res.History)
-	lin := check.LinearizableOps(od.obj, ops)
-	safety := od.safety(od.obj, res.History, ops)
+	lin := check.LinearizableOps(obj, ops)
+	violation := safety(obj, res.History, ops)
 
 	out.ran(CheckOracle)
 	if !lin {
-		if id.lin {
+		if linOK {
 			out.diverge(CheckOracle,
 				"correct implementation %s/%s exhibited a non-linearizable history", s.Object, s.Impl)
 		} else {
 			out.bug(OracleLin, "history of %s/%s is not linearizable", s.Object, s.Impl)
 		}
 	}
-	if safety != "" {
-		if id.safe {
+	if violation != "" {
+		if safeOK {
 			out.diverge(CheckOracle,
-				"%s/%s guarantees %s but violated it: %s", s.Object, s.Impl, od.safetyName, safety)
+				"%s/%s guarantees %s but violated it: %s", s.Object, s.Impl, safetyName, violation)
 		} else {
-			out.bug(od.safetyName, "%s", safety)
+			out.bug(safetyName, "%s", violation)
 		}
 	}
 
@@ -296,13 +308,13 @@ func runObjChecks(out *Outcome, od objDef, id implDef, res *monitor.Result, tau 
 	// (not synthetic words) produce, including pending-at-crash operations.
 	if len(ops) <= bruteOpsCap {
 		out.ran(CheckBrute)
-		if got := check.BruteLinearizable(od.obj, res.History); got != lin {
+		if got := check.BruteLinearizable(obj, res.History); got != lin {
 			out.diverge(CheckBrute,
 				"frontSearch says linearizable=%v, brute force says %v", lin, got)
 		}
-		if od.safetyName == OracleSC {
-			fast := safety == ""
-			if got := check.BruteSeqConsistent(od.obj, res.History); got != fast {
+		if safetyName == OracleSC {
+			fast := violation == ""
+			if got := check.BruteSeqConsistent(obj, res.History); got != fast {
 				out.diverge(CheckBrute,
 					"frontSearch says sequentially-consistent=%v, brute force says %v", fast, got)
 			}
@@ -320,19 +332,20 @@ func runObjChecks(out *Outcome, od objDef, id implDef, res *monitor.Result, tau 
 	// LIN_O — the mirror image of the Out-side escape the language family
 	// pins in its corpus). Completeness: a violation both the word and the
 	// sketch exhibit must draw a NO; it only applies when the run drained
-	// crash-free — a step-bound cutoff or a crash can separate the
-	// violating response from the verdict that would have judged it.
+	// crash-free and loss-free — a step-bound cutoff, a crash or a dropped
+	// message can separate the violating response from the verdict that
+	// would have judged it.
 	out.ran(CheckMonitorLin)
 	switch {
 	case lin && res.TotalNO() > 0:
 		sk, err := res.Sketch(s.N, tau)
-		if err == nil && check.Linearizable(od.obj, sk) {
+		if err == nil && check.Linearizable(obj, sk) {
 			out.diverge(CheckMonitorLin,
 				"history and sketch are both linearizable but %s reported %d NO verdict(s)", out.Monitor, res.TotalNO())
 		}
-	case !lin && !crashed && res.Drained && res.TotalNO() == 0:
+	case !lin && !crashed && !lossy && res.Drained && res.TotalNO() == 0:
 		sk, err := res.Sketch(s.N, tau)
-		if err == nil && !check.Linearizable(od.obj, sk) {
+		if err == nil && !check.Linearizable(obj, sk) {
 			out.diverge(CheckMonitorLin,
 				"history and sketch are both non-linearizable but no process ever reported NO")
 		}

@@ -34,8 +34,8 @@ func TestObjSpecStringRoundTrip(t *testing.T) {
 		if parsed.String() != s.String() {
 			t.Fatalf("round trip changed %q into %q", s.String(), parsed.String())
 		}
-		if !strings.HasPrefix(s.String(), specVersion+":") {
-			t.Fatalf("object spec %q does not carry the %s tag", s.String(), specVersion)
+		if !strings.HasPrefix(s.String(), objSpecVersion+":") {
+			t.Fatalf("object spec %q does not carry the %s tag", s.String(), objSpecVersion)
 		}
 	}
 }
@@ -84,12 +84,13 @@ func TestSpecVersionTagMutationRejected(t *testing.T) {
 	valid := []string{
 		"drv1:WEC_COUNT/exact:n=3:seed=7:pol=random:steps=2600",
 		"drv2:obj/queue/lifo:n=2:seed=7:pol=random:steps=900:ops=4:mb=0.5",
+		"drv3:msg/register/abd:n=3:seed=7:pol=random:steps=2000:ops=4:mb=0.5:net=lifo",
 	}
 	for _, line := range valid {
 		if _, err := ParseSpec(line); err != nil {
 			t.Fatalf("valid spec %q rejected: %v", line, err)
 		}
-		for _, tag := range []string{"drv0", "drv3", "DRV1", "drv11", "drv", ""} {
+		for _, tag := range []string{"drv0", "drv4", "DRV1", "drv11", "drv", ""} {
 			mutated := tag + line[strings.Index(line, ":"):]
 			if _, err := ParseSpec(mutated); err == nil {
 				t.Errorf("ParseSpec(%q) accepted a mutated version tag", mutated)

@@ -1,0 +1,59 @@
+package msgnet
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzMsgScheduleRoundTrip pins the schedule codec: every accepted encoding
+// is canonical (re-rendering reproduces the input bytes), round-trips to an
+// equal value, and builds a network. Corpora and spec corpora carry these
+// encodings, so acceptance of a non-canonical or unbuildable schedule would
+// let replayed scenarios drift.
+func FuzzMsgScheduleRoundTrip(f *testing.F) {
+	for _, seed := range []string{
+		// Canonical schedules of each order kind, with and without loss.
+		"fifo",
+		"lifo",
+		"random/42",
+		"starve/7",
+		"lifo!4,9",
+		"fifo!0,3,17",
+		"random/-9!2",
+		"starve/0!0,1,2",
+		// Near-misses the parser must reject.
+		"fifo/1",
+		"lifo/3",
+		"random",
+		"random/042",
+		"random/1!5,5",
+		"random/1!7,3",
+		"turtle/3",
+		"",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, line string) {
+		s, err := ParseSchedule(line)
+		if err != nil {
+			return
+		}
+		re := s.String()
+		if re != line {
+			t.Fatalf("accepted non-canonical schedule %q (canonical form %q)", line, re)
+		}
+		s2, err := ParseSchedule(re)
+		if err != nil {
+			t.Fatalf("canonical form %q of %q rejected: %v", re, line, err)
+		}
+		if !reflect.DeepEqual(s, s2) {
+			t.Fatalf("round trip changed the schedule: %+v != %+v", s, s2)
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("ParseSchedule accepted %q but Validate rejects it: %v", line, err)
+		}
+		if _, err := s.New(3); err != nil {
+			t.Fatalf("accepted schedule %q does not build: %v", line, err)
+		}
+	})
+}

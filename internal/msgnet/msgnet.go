@@ -10,9 +10,13 @@
 // Delivery is adversarial: a network actor registered with the scheduler
 // delivers exactly one pending message per actor step, chosen by a seeded
 // policy, so message delays and reorderings are controlled by the same
-// schedule machinery that drives process steps. Messages are never lost or
-// duplicated; they are delayed arbitrarily, which together with crash
-// injection realizes the standard asynchronous crash-fault model.
+// schedule machinery that drives process steps. Messages are never
+// duplicated; by default they are never lost either, only delayed
+// arbitrarily, which together with crash injection realizes the standard
+// asynchronous crash-fault model. An explicit loss schedule (SetDrops, or the
+// Schedule type that packages order, seed and drops for the explorer) lossily
+// degrades the network deterministically: the k-th send vanishes for each
+// scheduled k, so lossy runs replay bit-identically too.
 package msgnet
 
 import (
@@ -52,6 +56,16 @@ func FIFOOrder() Order { return fifoOrder{} }
 type fifoOrder struct{}
 
 func (fifoOrder) Pick([]Message, int) int { return 0 }
+
+// LIFOOrder delivers the newest pending message first: older messages get
+// buried under fresh traffic, sustaining long partial-propagation windows (a
+// broadcast caught mid-flight can stay mid-flight indefinitely) — the most
+// adversarial deterministic order short of loss.
+func LIFOOrder() Order { return lifoOrder{} }
+
+type lifoOrder struct{}
+
+func (lifoOrder) Pick(pending []Message, _ int) int { return len(pending) - 1 }
 
 // RandomOrder delivers a uniformly random pending message: the standard
 // asynchronous adversary.
@@ -102,8 +116,10 @@ type Net struct {
 	pending []Message
 	inboxes [][]Message
 	crashed []bool
+	drops   map[int]bool
 	sent    int
 	deliv   int
+	dropped int
 }
 
 // New builds a network for n processes with the given delivery order.
@@ -140,13 +156,52 @@ func (nt *Net) deliverStep() {
 	nt.inboxes[m.To] = append(nt.inboxes[m.To], m)
 }
 
+// SetDrops installs a deterministic loss schedule: the k-th send (indexing
+// the global send counter from zero) is dropped for every k in drops. Loss is
+// a schedule, not a probability, so runs replay bit-identically; dropping a
+// send that never happens is a no-op, mirroring crash schedules past the end
+// of a run.
+func (nt *Net) SetDrops(drops []int) {
+	if len(drops) == 0 {
+		nt.drops = nil
+		return
+	}
+	nt.drops = make(map[int]bool, len(drops))
+	for _, k := range drops {
+		nt.drops[k] = true
+	}
+}
+
+// enqueue assigns the message its global send index and either queues it for
+// delivery or drops it per the loss schedule.
+func (nt *Net) enqueue(m Message) {
+	k := nt.sent
+	nt.sent++
+	if nt.drops[k] {
+		nt.dropped++
+		return
+	}
+	nt.pending = append(nt.pending, m)
+}
+
 // Send enqueues a message; one step for the sender. Sends by crashed
 // processes are dropped by the scheduler never running them, not here.
 func (nt *Net) Send(p *sched.Proc, m Message) {
 	m.From = p.ID
 	p.Pause()
-	nt.sent++
-	nt.pending = append(nt.pending, m)
+	nt.enqueue(m)
+}
+
+// AuxSend enqueues a message on behalf of process from without consuming a
+// scheduler step — for replica aux actors, whose whole serve executes inline
+// as one actor step. Sends by crashed processes are suppressed here because
+// no scheduler gate exists for aux actors.
+func (nt *Net) AuxSend(from int, m Message) {
+	if nt.crashed[from] {
+		return
+	}
+	m.From = from
+	nt.enqueue(m)
 }
 
 // Broadcast sends m to every process including the sender (self-delivery
@@ -182,6 +237,42 @@ func (nt *Net) Recv(p *sched.Proc, match func(Message) bool) Message {
 	}
 }
 
+// InboxHas reports whether a message matching the filter waits in id's inbox,
+// without consuming a step — for aux-actor runnable gates and Await
+// conditions. A nil filter matches everything.
+func (nt *Net) InboxHas(id int, match func(Message) bool) bool {
+	for _, m := range nt.inboxes[id] {
+		if match == nil || match(m) {
+			return true
+		}
+	}
+	return false
+}
+
+// AuxRecv dequeues the oldest matching inbox message without consuming a
+// step — the receive half of an aux actor's serve, or the dequeue after an
+// Await grant (the grant is the step).
+func (nt *Net) AuxRecv(id int, match func(Message) bool) (Message, bool) {
+	box := nt.inboxes[id]
+	for i, m := range box {
+		if match == nil || match(m) {
+			nt.inboxes[id] = append(box[:i:i], box[i+1:]...)
+			return m, true
+		}
+	}
+	return Message{}, false
+}
+
+// RecvAwait parks p on the scheduler gate until a matching message waits in
+// its inbox, then dequeues it. The whole receive costs one step (the grant);
+// unlike Recv it never busy-waits, so a process starved of its quorum
+// quiesces instead of burning the step budget.
+func (nt *Net) RecvAwait(p *sched.Proc, match func(Message) bool) Message {
+	p.Await(func() bool { return nt.InboxHas(p.ID, match) })
+	m, _ := nt.AuxRecv(p.ID, match)
+	return m
+}
+
 // Crash marks a process crashed: its inbox is discarded and future messages
 // to it vanish. Call together with Runtime.Crash.
 func (nt *Net) Crash(id int) {
@@ -191,6 +282,9 @@ func (nt *Net) Crash(id int) {
 
 // Stats returns how many messages were sent and delivered.
 func (nt *Net) Stats() (sent, delivered int) { return nt.sent, nt.deliv }
+
+// Dropped returns how many sends the loss schedule discarded.
+func (nt *Net) Dropped() int { return nt.dropped }
 
 // PendingCount returns the number of in-flight messages.
 func (nt *Net) PendingCount() int { return len(nt.pending) }

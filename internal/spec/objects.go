@@ -103,6 +103,63 @@ func (s ctrState) Apply(op string, arg word.Value) (State, word.Value, bool) {
 	}
 }
 
+// ---------------------------------------------------------------- consensus
+
+// OpPropose is the propose operation of the Consensus object.
+const OpPropose = "propose"
+
+// Consensus returns the sequential one-shot consensus object: the first
+// propose(v) decides v and returns it; every later propose returns the
+// decided value regardless of its own argument. It is the sequential
+// specification against which the message-passing coordinator emulation
+// (package abd) is judged.
+func Consensus() Object { return consensus{} }
+
+type consensus struct{}
+
+func (consensus) Name() string { return "consensus" }
+func (consensus) Init() State  { return consState{} }
+func (consensus) Ops() []OpSig {
+	return []OpSig{{Name: OpPropose, Mutating: true}}
+}
+func (consensus) RandArg(_ string, rng *rand.Rand) word.Value {
+	return word.Int(rng.Intn(100))
+}
+
+type consState struct {
+	decided bool
+	val     word.Int
+}
+
+func (s consState) Key() string {
+	if !s.decided {
+		return "u"
+	}
+	return fmt.Sprintf("d%d", int64(s.val))
+}
+
+// AppendKey implements spec.KeyAppender with the Key encoding.
+func (s consState) AppendKey(b []byte) []byte {
+	if !s.decided {
+		return append(b, 'u')
+	}
+	return strconv.AppendInt(append(b, 'd'), int64(s.val), 10)
+}
+
+func (s consState) Apply(op string, arg word.Value) (State, word.Value, bool) {
+	if op != OpPropose {
+		return s, nil, false
+	}
+	v, ok := arg.(word.Int)
+	if !ok {
+		return s, nil, false
+	}
+	if !s.decided {
+		return consState{decided: true, val: v}, v, true
+	}
+	return s, s.val, true
+}
+
 // ---------------------------------------------------------------- ledger
 
 // Ledger returns the sequential ledger object of Example 2 (after [3]): its
