@@ -484,22 +484,30 @@ func BenchmarkExplore(b *testing.B) {
 		workers  int
 		families []string
 	}
-	// The pooled configuration uses every core, but never fewer than 4
-	// workers: on a small machine the row still measures the pool's
-	// scheduling overhead instead of silently collapsing into the
-	// sequential row.
-	pool := runtime.NumCPU()
-	if pool < 4 {
-		pool = 4
-	}
-	configs := []config{
-		{"j-1", 1, nil},
-		{fmt.Sprintf("j-%d", pool), pool, nil},
-		// The message family pays per-scenario network and emulation costs
-		// the language family does not; its rows keep that regression
-		// visible.
-		{"msg-j-1", 1, []string{explore.FamMsg}},
-		{fmt.Sprintf("msg-j-%d", pool), pool, []string{explore.FamMsg}},
+	// Each family sweeps the same worker ladder, so the committed baseline
+	// records a scaling curve rather than one point: on a single-core
+	// machine the j-2/4/8 rows measure pool scheduling overhead (the curve
+	// stays flat), on a multi-core one they measure speedup.
+	var configs []config
+	for _, fam := range []struct {
+		prefix   string
+		families []string
+	}{
+		{"", nil},
+		// The object family drives real shared-memory implementations under
+		// crashes; the message family pays per-scenario network and
+		// emulation costs the language family does not. Their rows keep
+		// those regressions visible separately.
+		{"obj-", []string{explore.FamObj}},
+		{"msg-", []string{explore.FamMsg}},
+	} {
+		for _, j := range []int{1, 2, 4, 8} {
+			configs = append(configs, config{
+				name:     fmt.Sprintf("%sj-%d", fam.prefix, j),
+				workers:  j,
+				families: fam.families,
+			})
+		}
 	}
 	type rate struct {
 		Name         string  `json:"name"`
@@ -542,7 +550,7 @@ func BenchmarkExplore(b *testing.B) {
 			NumCPU int    `json:"num_cpu"`
 			Rates  []rate `json:"rates"`
 		}{
-			Note:   "drvexplore throughput baseline; regenerate with: BENCH_EXPLORE_OUT=BENCH_explore.json go test -run '^$' -bench BenchmarkExplore -benchtime 2x .",
+			Note:   "drvexplore throughput baseline; regenerate with: BENCH_EXPLORE_OUT=BENCH_explore.json go test -run '^$' -bench BenchmarkExplore -benchtime 2x . Scalability: rows sweep j=1/2/4/8 per family; with num_cpu=1 the curve is flat and higher-j rows measure worker-pool overhead, on multi-core machines they measure speedup. Scenarios are partitioned deterministically, so reports are byte-identical across j.",
 			NumCPU: runtime.NumCPU(),
 			Rates:  rates,
 		}

@@ -16,7 +16,13 @@
 //   - internal/word, internal/spec, internal/check, internal/lang — the
 //     distributed-language machinery of Section 2: alphabets, ω-word
 //     prefixes, sequential objects, consistency checkers, and the seven
-//     Table 1 languages with labelled behaviour generators.
+//     Table 1 languages with labelled behaviour generators. Verdict-stream
+//     workloads use check.Incremental, which re-checks each growing prefix
+//     of one history by caching the last accepting linearization as a
+//     witness (extended in constant time on most appends) plus standing
+//     rejecting verdicts, falling back to the memoized from-scratch front
+//     search only when neither cache applies; differential tests pin it
+//     symbol-for-symbol to the from-scratch checkers.
 //   - internal/adversary — the adversary A (a word cursor realizing Claim
 //     3.1) and the timed adversary Aτ of Figure 6.
 //   - internal/sketch — the view-to-history construction x~(E) of Appendix B.

@@ -32,8 +32,8 @@ type frontSearch struct {
 	// placed when no unplaced operation of another process precedes it.
 	realTime     bool
 	completeLeft int
-	memo         map[string]struct{} // fruitless (fronts, state) nodes
-	key          []byte              // reused key-building buffer
+	memo         byteSet // fruitless (fronts, state) nodes
+	key          []byte  // reused key-building buffer
 }
 
 // newFrontSearch lays the operations out per process. ok is false when the
@@ -56,7 +56,6 @@ func newFrontSearch(obj spec.Object, ops []word.Operation, realTime bool) (*fron
 		byProc:   make([][]int, maxProc+1),
 		front:    make([]int, maxProc+1),
 		realTime: realTime,
-		memo:     make(map[string]struct{}),
 	}
 	for i := range ops {
 		o := &ops[i]
@@ -82,12 +81,18 @@ func newFrontSearch(obj spec.Object, ops []word.Operation, realTime bool) (*fron
 	return s, true
 }
 
-// run starts the search from the object's initial state.
+// run starts the search from the object's initial state — the interned root
+// when the object offers one, so reconverging branches share states instead
+// of re-allocating them.
 func (s *frontSearch) run() bool {
 	if len(s.ops) == 0 {
 		return true
 	}
-	return s.rec(s.obj.Init())
+	init := s.obj.Init()
+	if ri, ok := s.obj.(spec.RootInterner); ok {
+		init = ri.InternRoot()
+	}
+	return s.rec(init)
 }
 
 // buildKey encodes (fronts, state) into the reused buffer. Front counters
@@ -133,7 +138,7 @@ func (s *frontSearch) rec(st spec.State) bool {
 	if s.completeLeft == 0 {
 		return true // remaining pending operations are dropped
 	}
-	if _, hit := s.memo[string(s.buildKey(st))]; hit {
+	if s.memo.Contains(s.buildKey(st)) {
 		return false
 	}
 	for p, row := range s.byProc {
@@ -165,6 +170,6 @@ func (s *frontSearch) rec(st spec.State) bool {
 	}
 	// Rebuild the key: the buffer was clobbered by the descent, but fronts
 	// and state are back to this node's values, so the encoding is too.
-	s.memo[string(s.buildKey(st))] = struct{}{}
+	s.memo.Insert(s.buildKey(st))
 	return false
 }

@@ -1,0 +1,254 @@
+package check
+
+// Differential validation of the incremental checker: on every prefix of
+// every generated history, Incremental's verdict must equal the from-scratch
+// frontSearch's, and — where the workload is small enough to afford it — the
+// exhaustive brute reference's. The histories span the explorer's three
+// scenario families: synthetic language-family words (including truncated
+// words with trailing pendings), object-family histories from the real
+// implementations of package sut (including operations left pending at a
+// crash), and message-family histories from the ABD emulation (including
+// operations parked forever by a dropped message). A mismatch is shrunk to a
+// minimal reproducing word before reporting, so a failure names the smallest
+// offending history and the seed that found it.
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/drv-go/drv/internal/msgnet"
+	"github.com/drv-go/drv/internal/spec"
+	"github.com/drv-go/drv/internal/sut"
+	"github.com/drv-go/drv/internal/word"
+)
+
+// scratchOK is the from-scratch reference the incremental checker must track
+// on every prefix.
+func scratchOK(obj spec.Object, realTime bool, w word.Word) bool {
+	ops := word.Operations(w)
+	if realTime {
+		return LinearizableOps(obj, ops)
+	}
+	return SeqConsistentOps(obj, ops)
+}
+
+// wellFormed reports whether word.Operations accepts w.
+func wellFormed(w word.Word) (ok bool) {
+	defer func() {
+		if recover() != nil {
+			ok = false
+		}
+	}()
+	word.Operations(w)
+	return true
+}
+
+// incrementalDisagrees reports whether feeding w symbol-by-symbol into a
+// fresh Incremental ever disagrees with the from-scratch reference on a
+// prefix, returning the length of the first disagreeing prefix.
+func incrementalDisagrees(obj spec.Object, realTime bool, w word.Word) (int, bool) {
+	chk := NewIncremental(obj, realTime, w.Procs())
+	for i, s := range w {
+		chk.Append(s)
+		if chk.OK() != scratchOK(obj, realTime, w[:i+1]) {
+			return i + 1, true
+		}
+	}
+	return 0, false
+}
+
+// shrinkMismatch greedily removes symbols (keeping the word well-formed)
+// while the incremental/scratch disagreement persists, returning a minimal
+// reproducer.
+func shrinkMismatch(obj spec.Object, realTime bool, w word.Word) word.Word {
+	cur := append(word.Word(nil), w...)
+	for {
+		shrunk := false
+		for i := 0; i < len(cur); i++ {
+			cand := append(append(word.Word(nil), cur[:i]...), cur[i+1:]...)
+			if !wellFormed(cand) {
+				continue
+			}
+			if _, bad := incrementalDisagrees(obj, realTime, cand); bad {
+				cur = cand
+				shrunk = true
+				break
+			}
+		}
+		if !shrunk {
+			return cur
+		}
+	}
+}
+
+// checkIncremental runs the full differential battery on one history: the
+// incremental checker against from-scratch on every prefix (both order
+// modes), against brute on affordable whole words, and the interleaved-query
+// modes (CheckExtending, AnyPrefixViolated) against their scratch forms.
+func checkIncremental(t *testing.T, obj spec.Object, w word.Word, label string) {
+	t.Helper()
+	if !wellFormed(w) {
+		t.Fatalf("%s: generator produced a malformed word:\n%v", label, w)
+	}
+	for _, realTime := range []bool{true, false} {
+		mode := "sc"
+		if realTime {
+			mode = "lin"
+		}
+		if at, bad := incrementalDisagrees(obj, realTime, w); bad {
+			min := shrinkMismatch(obj, realTime, w)
+			t.Fatalf("%s: incremental %s disagrees with from-scratch at prefix %d of\n%v\nminimal reproducer:\n%v",
+				label, mode, at, w, min)
+		}
+		// Whole-word agreement with the exhaustive reference, where affordable.
+		if ops := word.Operations(w); len(ops) <= 6 {
+			chk := NewIncremental(obj, realTime, w.Procs())
+			var brute bool
+			if realTime {
+				brute = BruteLinearizable(obj, w)
+			} else {
+				brute = BruteSeqConsistent(obj, w)
+			}
+			if got := chk.CheckWord(w); got != brute {
+				t.Fatalf("%s: incremental %s=%v, brute=%v on\n%v", label, mode, got, brute, w)
+			}
+		}
+		// AnyPrefixViolated must match the literal per-prefix loop.
+		chk := NewIncremental(obj, realTime, w.Procs())
+		wantAny := false
+		for cut := 1; cut <= len(w); cut++ {
+			if cut < len(w) && w[cut-1].Kind != word.Res {
+				continue
+			}
+			if !scratchOK(obj, realTime, w[:cut]) {
+				wantAny = true
+				break
+			}
+		}
+		if got := chk.AnyPrefixViolated(w); got != wantAny {
+			t.Fatalf("%s: incremental %s AnyPrefixViolated=%v, scratch=%v on\n%v", label, mode, got, wantAny, w)
+		}
+	}
+}
+
+// randWord generates a well-formed history over obj: random interleaving,
+// responses mostly drawn from a resolve-at-response sequential shadow (so
+// most histories are linearizable) with a perturbation rate that manufactures
+// violations, and a truncation that leaves trailing operations pending — the
+// language family's word shapes, including truncated ones.
+func randWord(obj spec.Object, n, steps int, perturb float64, rng *rand.Rand) word.Word {
+	type open struct {
+		op  string
+		arg word.Value
+	}
+	pend := make([]*open, n)
+	shadow := obj.Init()
+	sigs := obj.Ops()
+	var w word.Word
+	for len(w) < steps {
+		p := rng.Intn(n)
+		if pend[p] == nil {
+			sig := sigs[rng.Intn(len(sigs))]
+			arg := obj.RandArg(sig.Name, rng)
+			pend[p] = &open{op: sig.Name, arg: arg}
+			w = append(w, word.Symbol{Proc: p, Kind: word.Inv, Op: sig.Name, Val: arg})
+			continue
+		}
+		o := pend[p]
+		next, ret, ok := shadow.Apply(o.op, o.arg)
+		if !ok {
+			pend[p] = nil
+			continue
+		}
+		shadow = next
+		if rng.Float64() < perturb {
+			ret = word.Int(int64(rng.Intn(5)))
+		}
+		w = append(w, word.Symbol{Proc: p, Kind: word.Res, Op: o.op, Val: ret})
+		pend[p] = nil
+	}
+	// Truncate at a random point: trailing invocations stay pending.
+	if len(w) > 0 && rng.Intn(2) == 0 {
+		w = w[:1+rng.Intn(len(w))]
+	}
+	return w
+}
+
+func TestIncrementalMatchesScratchOnRandomWords(t *testing.T) {
+	objs := []spec.Object{
+		spec.Register(), spec.Counter(), spec.Queue(), spec.Stack(),
+		spec.Ledger(), spec.Consensus(),
+	}
+	for _, obj := range objs {
+		obj := obj
+		t.Run(obj.Name(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(7))
+			for trial := 0; trial < 120; trial++ {
+				n := 2 + rng.Intn(2)
+				steps := 4 + rng.Intn(10)
+				perturb := []float64{0, 0.15, 0.5}[trial%3]
+				w := randWord(obj, n, steps, perturb, rng)
+				checkIncremental(t, obj, w, obj.Name())
+			}
+		})
+	}
+}
+
+func TestIncrementalMatchesScratchOnSUTHistories(t *testing.T) {
+	cases := []struct {
+		name string
+		obj  spec.Object
+		mk   func(n int) sut.Impl
+	}{
+		{"queue/lock", spec.Queue(), func(n int) sut.Impl { return sut.NewLockQueue() }},
+		{"queue/lifo", spec.Queue(), func(n int) sut.Impl { return sut.NewLIFOQueue() }},
+		{"stack/fifo", spec.Stack(), func(n int) sut.Impl { return sut.NewFIFOStack() }},
+		{"register/atomic", spec.Register(), func(n int) sut.Impl { return sut.NewAtomicRegister() }},
+		{"register/stale", spec.Register(), func(n int) sut.Impl { return sut.NewStaleRegister(n, 2) }},
+	}
+	const n, opsPerProc = 2, 3
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			for seed := int64(1); seed <= 10; seed++ {
+				// Crash-free, then crashing process 1 mid-flight so its open
+				// operation stays pending for the rest of the history.
+				for _, crashStep := range []int{0, 9} {
+					h := sutHistory(t, tc.obj, tc.mk(n), n, opsPerProc, seed, crashStep, 1)
+					if len(word.Operations(h)) > 7 {
+						continue
+					}
+					checkIncremental(t, tc.obj, h, tc.name)
+				}
+			}
+		})
+	}
+}
+
+func TestIncrementalMatchesScratchOnABDHistories(t *testing.T) {
+	obj := spec.Register()
+	cases := []struct {
+		name      string
+		drops     []int
+		crashStep int
+		buggy     bool
+	}{
+		{name: "clean"},
+		{name: "dropped", drops: []int{0, 2, 4, 7}},
+		{name: "crash", crashStep: 25},
+		{name: "crash+dropped", drops: []int{1, 3, 5}, crashStep: 40},
+	}
+	const n, opsPerProc = 3, 2
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			for seed := int64(1); seed <= 8; seed++ {
+				h := abdHistory(t, n, opsPerProc, seed, 0.4, msgnet.RandomOrder(seed), tc.drops, tc.crashStep, 1, tc.buggy)
+				if len(word.Operations(h)) > 6 {
+					continue
+				}
+				checkIncremental(t, obj, h, tc.name)
+			}
+		})
+	}
+}

@@ -1,0 +1,544 @@
+package check
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"github.com/drv-go/drv/internal/spec"
+	"github.com/drv-go/drv/internal/word"
+)
+
+// maxFrontRow bounds a process's operation count in the incremental checker:
+// front counters are encoded as uint16 in memo keys, exactly like
+// frontSearch's.
+const maxFrontRow = 1<<16 - 1
+
+// Incremental answers linearizability or sequential-consistency queries over
+// every prefix of one growing history without re-running the witness search
+// from scratch per prefix. The device is a cached witness: the last accepting
+// linearization found, kept as per-process placed-operation fronts, the
+// object state after its final placement, and the specification response
+// recorded for each placed-but-pending operation. Appending symbols updates
+// the witness in constant time in the common cases:
+//
+//   - An invocation leaves the witness intact. The new operation is pending,
+//     and a pending operation may always be dropped from a linearization, so
+//     an accepting prefix stays accepting. (The converse is false — a new
+//     pending operation can also make a previously rejecting prefix
+//     accepting, by being placed with the specification's response — so a
+//     rejecting verdict is re-checked, lazily, at the next query.)
+//
+//   - A response completes the process's pending operation. If the witness
+//     placed it, the recorded specification response either matches the real
+//     one (the witness still stands) or refutes the placement. If the
+//     witness dropped it, the operation is appended at the end of the
+//     witness when the specification's response from the witness's final
+//     state matches the real one — always legal there: per-process order is
+//     respected (the operation is its process's last), and under real-time
+//     precedence every operation that precedes it is complete, hence already
+//     placed, while the new operation precedes nothing (its response is the
+//     history's last symbol).
+//
+// Only when no cheap update applies does the next query run the full
+// memoized front search (the same state space as frontSearch, over buffers
+// the checker retains), which either rebuilds the witness or memoizes a
+// rejecting verdict until the history changes. Verdict-stream workloads are
+// therefore cheap on both sides of a violation: accepting rounds ride the
+// witness, and once a round rejects, repeated queries of the unchanged
+// history cost nothing.
+//
+// Crash boundaries need no special casing: a crashed process's last
+// operation simply stays pending forever, which the witness already models
+// (pending operations are placeable or droppable at every query).
+//
+// Histories outside the per-process-alternation shape frontSearch relies on
+// (out-of-range process indices, more than 65535 operations on one process)
+// permanently fall back to the from-scratch checkers over the accumulated
+// operations. Append mirrors word.Operations' well-formedness contract,
+// panicking on the same malformed inputs at the same positions.
+//
+// An Incremental is not safe for concurrent use; pooled workloads give each
+// worker (or each monitor logic) its own, via Pool.
+type Incremental struct {
+	obj      spec.Object
+	realTime bool
+	n        int
+
+	init      spec.State       // initial state (interned root when offered)
+	syms      word.Word        // the fed history
+	ops       []word.Operation // word.Operations(syms), maintained in place
+	byProc    [][]int          // operation indices per process, process order
+	counts    []int            // per-process operations started
+	complete  []int            // per-process complete-operation count
+	pendingOf []int            // per-process index into ops of the pending op, -1 = none
+	negOpen   map[int]int      // pending op of a negative process index (degenerate histories)
+	negCount  map[int]int      // operation count of a negative process index
+	nComplete int              // total complete operations
+
+	// The cached witness, valid when wValid: an accepting linearization of
+	// the current history, as per-process placed counts, the recorded
+	// specification response of each placed pending operation, and the
+	// object state after the last placement.
+	wValid bool
+	wFront []int
+	wRets  []word.Value
+	wState spec.State
+
+	// Full-search scratch, retained across searches.
+	sFront   []int
+	sRets    []word.Value
+	sLeft    int        // complete operations not yet placed
+	winState spec.State // state at the accepting leaf
+	memo     byteSet    // fruitless (fronts, state) nodes
+	key      []byte     // reused key-building buffer
+
+	muts map[string]bool // operation name -> OpSig.Mutating, built lazily
+
+	fallback bool
+	okCache  bool
+	okValid  bool
+}
+
+// mutatingOp reports whether the named operation is mutating per the
+// object's signatures; unknown operations are conservatively mutating.
+func (c *Incremental) mutatingOp(op string) bool {
+	if c.muts == nil {
+		c.muts = map[string]bool{}
+		for _, sig := range c.obj.Ops() {
+			c.muts[sig.Name] = sig.Mutating
+		}
+	}
+	m, known := c.muts[op]
+	return !known || m
+}
+
+// NewIncremental returns a checker for the object over n processes:
+// realTime true checks linearizability, false sequential consistency.
+func NewIncremental(obj spec.Object, realTime bool, n int) *Incremental {
+	c := &Incremental{obj: obj, realTime: realTime}
+	c.Reset(n)
+	return c
+}
+
+// Len returns the number of symbols fed since the last Reset.
+func (c *Incremental) Len() int { return len(c.syms) }
+
+// Reset rewinds the checker to the empty history over n processes, keeping
+// every grown buffer: a reset checker re-fed a same-sized workload does not
+// allocate.
+func (c *Incremental) Reset(n int) {
+	if n < 0 {
+		n = 0
+	}
+	c.n = n
+	c.syms = c.syms[:0]
+	c.ops = c.ops[:0]
+	for len(c.byProc) < n {
+		c.byProc = append(c.byProc, nil)
+	}
+	c.byProc = c.byProc[:n]
+	for p := range c.byProc {
+		c.byProc[p] = c.byProc[p][:0]
+	}
+	c.counts = resetInts(c.counts, n, 0)
+	c.complete = resetInts(c.complete, n, 0)
+	c.pendingOf = resetInts(c.pendingOf, n, -1)
+	c.negOpen = nil
+	c.negCount = nil
+	c.nComplete = 0
+
+	// The empty history's witness: nothing placed, initial state. An object
+	// with an interning root gets a fresh one per Reset: the checker is
+	// single-goroutine, so every search of this history can share states
+	// across reconverging branches, and the interned tree is released with
+	// the history it served.
+	c.init = c.obj.Init()
+	if ri, ok := c.obj.(spec.RootInterner); ok {
+		c.init = ri.InternRoot()
+	}
+	c.wValid = true
+	c.wFront = resetInts(c.wFront, n, 0)
+	c.wRets = resetVals(c.wRets, n)
+	c.wState = c.init
+
+	c.fallback = false
+	c.okValid = false
+}
+
+// resetInts re-sizes a per-process counter slice to n entries of v.
+func resetInts(s []int, n int, v int) []int {
+	for len(s) < n {
+		s = append(s, v)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = v
+	}
+	return s
+}
+
+// resetVals re-sizes a per-process value slice to n nil entries.
+func resetVals(s []word.Value, n int) []word.Value {
+	for len(s) < n {
+		s = append(s, nil)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = nil
+	}
+	return s
+}
+
+// Append feeds the next symbol of the history, updating the witness. It
+// enforces word.Operations' well-formedness contract with the same panics.
+func (c *Incremental) Append(sym word.Symbol) {
+	i := len(c.syms)
+	c.syms = append(c.syms, sym)
+	// A cached rejecting verdict often survives the appended symbol, because
+	// a witness for the extension would project to one for the old history:
+	//
+	//   - A response: the witness restricted to the old operations places the
+	//     newly complete operation as pending, with the specification's
+	//     response — the real one.
+	//   - Under real-time precedence, any invocation: every complete
+	//     operation's response precedes the new invocation, so a witness
+	//     places the new operation after all of them, and truncating the
+	//     witness just before it leaves one for the old history.
+	//   - A non-mutating invocation: dropping the new operation from a
+	//     witness leaves the state sequence — hence every other operation's
+	//     legality — unchanged (the OpSig.Mutating contract).
+	//
+	// Only a mutating invocation under sequential consistency can resurrect
+	// acceptance (placed with the specification's response, it may repair the
+	// states later operations observe), so only it forces a re-search.
+	keepNo := c.okValid && !c.okCache && !c.fallback &&
+		(sym.Kind == word.Res || c.realTime || !c.mutatingOp(sym.Op))
+	if !keepNo {
+		c.okValid = false
+	}
+	p := sym.Proc
+	switch sym.Kind {
+	case word.Inv:
+		if c.openOf(p) >= 0 {
+			panic(fmt.Sprintf("word: process %d invokes %q at position %d with an operation still pending", p, sym.Op, i))
+		}
+		oi := len(c.ops)
+		c.ops = append(c.ops, word.Operation{
+			ID:  word.OpID{Proc: p, Idx: c.countOf(p)},
+			Op:  sym.Op,
+			Arg: sym.Val,
+			Inv: i,
+			Res: -1,
+		})
+		c.setOpen(p, oi)
+		if p < 0 || p >= c.n {
+			c.fallback = true
+		}
+		if c.fallback {
+			return
+		}
+		c.byProc[p] = append(c.byProc[p], oi)
+		if len(c.byProc[p]) > maxFrontRow {
+			c.fallback = true
+		}
+	case word.Res:
+		oi := c.openOf(p)
+		if oi < 0 {
+			panic(fmt.Sprintf("word: process %d responds %q at position %d with no pending invocation", p, sym.Op, i))
+		}
+		o := &c.ops[oi]
+		if o.Op != sym.Op {
+			panic(fmt.Sprintf("word: process %d response %q at position %d does not match pending invocation %q", p, sym.Op, i, o.Op))
+		}
+		o.Ret = sym.Val
+		o.Res = i
+		c.clearOpen(p)
+		if c.fallback {
+			return
+		}
+		c.complete[p]++
+		c.nComplete++
+		if !c.wValid {
+			return
+		}
+		switch idx := c.complete[p] - 1; c.wFront[p] {
+		case idx + 1:
+			// The witness placed the operation while it was pending; the
+			// recorded specification response either matches the real one
+			// or refutes the placement.
+			if c.wRets[p] != nil && c.wRets[p].Equal(sym.Val) {
+				c.wRets[p] = nil
+			} else {
+				c.wValid = false
+			}
+		case idx:
+			// The witness dropped the operation; append it at the end.
+			if nxt, ret, ok := c.wState.Apply(o.Op, o.Arg); ok && ret.Equal(sym.Val) {
+				c.wState = nxt
+				c.wFront[p] = idx + 1
+			} else {
+				c.wValid = false
+			}
+		default:
+			c.wValid = false // unreachable: a valid witness places every complete operation
+		}
+	default:
+		panic(fmt.Sprintf("word: symbol at position %d has invalid kind %d", i, sym.Kind))
+	}
+}
+
+// OK reports whether the history fed so far passes the check — exactly
+// LinearizableOps/SeqConsistentOps(obj, word.Operations(prefix)).
+func (c *Incremental) OK() bool {
+	if c.fallback {
+		if !c.okValid {
+			if c.realTime {
+				c.okCache = LinearizableOps(c.obj, c.ops)
+			} else {
+				c.okCache = SeqConsistentOps(c.obj, c.ops)
+			}
+			c.okValid = true
+		}
+		return c.okCache
+	}
+	if c.wValid {
+		return true
+	}
+	if !c.okValid {
+		c.okCache = c.search()
+		c.okValid = true
+	}
+	return c.okCache
+}
+
+// CheckWord resets the checker and checks w whole.
+func (c *Incremental) CheckWord(w word.Word) bool {
+	c.Reset(c.n)
+	for _, s := range w {
+		c.Append(s)
+	}
+	return c.OK()
+}
+
+// CheckExtending checks w, reusing the witness when w extends the history
+// already fed (the predictive monitors' verdict stream: successive sketch
+// histories usually extend each other, but view reordering can rebuild the
+// past, in which case the checker resets and re-feeds).
+func (c *Incremental) CheckExtending(w word.Word) bool {
+	k := len(c.syms)
+	if k > len(w) || !c.syms.Equal(w[:k]) {
+		c.Reset(c.n)
+		k = 0
+	}
+	for _, s := range w[k:] {
+		c.Append(s)
+	}
+	return c.OK()
+}
+
+// AnyPrefixViolated reports whether some finite prefix of w fails the check
+// — the incremental form of the anyPrefixViolates lift the non-prefix-closed
+// languages (sequential consistency) need. Only prefixes ending at a
+// response symbol (and w itself) can introduce a violation: a trailing
+// pending invocation is droppable, so it never invalidates a witness. The
+// forward pass exits at the first violated prefix, so an accepting history
+// costs one witness maintenance sweep and a violating one at most one full
+// search beyond it.
+func (c *Incremental) AnyPrefixViolated(w word.Word) bool {
+	c.Reset(c.n)
+	for _, s := range w {
+		c.Append(s)
+		if s.Kind == word.Res && !c.OK() {
+			return true
+		}
+	}
+	return !c.OK()
+}
+
+// openOf returns the index into ops of the process's pending operation, or
+// -1; out-of-range processes are tracked in the degenerate side maps.
+func (c *Incremental) openOf(p int) int {
+	if p >= 0 && p < len(c.pendingOf) {
+		return c.pendingOf[p]
+	}
+	if oi, ok := c.negOpen[p]; ok {
+		return oi
+	}
+	return -1
+}
+
+func (c *Incremental) setOpen(p, oi int) {
+	if p >= 0 {
+		for p >= len(c.pendingOf) {
+			c.pendingOf = append(c.pendingOf, -1)
+			c.counts = append(c.counts, 0)
+		}
+		c.pendingOf[p] = oi
+		c.counts[p]++
+		return
+	}
+	if c.negOpen == nil {
+		c.negOpen = map[int]int{}
+		c.negCount = map[int]int{}
+	}
+	c.negOpen[p] = oi
+	c.negCount[p]++
+}
+
+func (c *Incremental) clearOpen(p int) {
+	if p >= 0 {
+		c.pendingOf[p] = -1
+		return
+	}
+	delete(c.negOpen, p)
+}
+
+// countOf returns how many operations the process has started.
+func (c *Incremental) countOf(p int) int {
+	if p >= 0 && p < len(c.counts) {
+		return c.counts[p]
+	}
+	return c.negCount[p]
+}
+
+// search runs the memoized front search over the current operations,
+// mirroring frontSearch exactly (same state space, same verdict), but over
+// the checker's retained buffers, and extracting the accepting linearization
+// into the witness on success.
+func (c *Incremental) search() bool {
+	c.sFront = resetInts(c.sFront, c.n, 0)
+	c.sRets = resetVals(c.sRets, c.n)
+	c.sLeft = c.nComplete
+	c.memo.Clear()
+	if !c.rec(c.init) {
+		return false
+	}
+	// A success returns through every frame without unwinding, so sFront and
+	// sRets hold the accepting leaf's values.
+	copy(c.wFront, c.sFront)
+	copy(c.wRets, c.sRets)
+	c.wState = c.winState
+	c.wValid = true
+	return true
+}
+
+// buildKey encodes (fronts, state) into the reused buffer. Front counters
+// are fixed-width so distinct vectors cannot collide, and the state encoding
+// is State.Key's (via the allocation-free AppendKey when available).
+// Recorded pending responses need no slot: within one search the placed
+// operations' responses are functions of the placement order the fronts
+// already encode, and a pending operation's response is never re-examined.
+func (c *Incremental) buildKey(st spec.State) []byte {
+	b := c.key[:0]
+	for _, f := range c.sFront {
+		b = binary.LittleEndian.AppendUint16(b, uint16(f))
+	}
+	b = append(b, '/')
+	if ka, ok := st.(spec.KeyAppender); ok {
+		b = ka.AppendKey(b)
+	} else {
+		b = append(b, st.Key()...)
+	}
+	c.key = b
+	return b
+}
+
+// placeable mirrors frontSearch.placeable over the search fronts.
+func (c *Incremental) placeable(o *word.Operation) bool {
+	if !c.realTime {
+		return true
+	}
+	for q, row := range c.byProc {
+		if q == o.ID.Proc || c.sFront[q] >= len(row) {
+			continue
+		}
+		if f := &c.ops[row[c.sFront[q]]]; f.Precedes(*o) {
+			return false
+		}
+	}
+	return true
+}
+
+// rec is the memoized descent, frontSearch.rec over the checker's buffers.
+func (c *Incremental) rec(st spec.State) bool {
+	if c.sLeft == 0 {
+		c.winState = st
+		return true // remaining pending operations are dropped
+	}
+	if c.memo.Contains(c.buildKey(st)) {
+		return false
+	}
+	for p, row := range c.byProc {
+		if c.sFront[p] >= len(row) {
+			continue
+		}
+		o := &c.ops[row[c.sFront[p]]]
+		if !c.placeable(o) {
+			continue
+		}
+		nxt, ret, ok := st.Apply(o.Op, o.Arg)
+		if !ok {
+			continue
+		}
+		pending := o.Pending()
+		if !pending && !ret.Equal(o.Ret) {
+			continue
+		}
+		c.sFront[p]++
+		if pending {
+			c.sRets[p] = ret
+		} else {
+			c.sLeft--
+		}
+		if c.rec(nxt) {
+			return true
+		}
+		c.sFront[p]--
+		if pending {
+			c.sRets[p] = nil
+		} else {
+			c.sLeft++
+		}
+	}
+	// Rebuild the key: the buffer was clobbered by the descent, but fronts
+	// and state are back to this node's values, so the encoding is too.
+	c.memo.Insert(c.buildKey(st))
+	return false
+}
+
+// Pool recycles Incremental checkers across the runs of one worker: Get
+// borrows a reset checker (reusing a reclaimed one whose object and order
+// mode match), Reclaim returns every borrowed checker at once — callers
+// reclaim at the start of each run, so a borrowed checker stays valid for
+// the rest of its run, like a pooled session's Result. A Pool is not safe
+// for concurrent use: pooled workloads give each worker its own.
+type Pool struct {
+	chks []*Incremental
+	used []bool
+}
+
+// NewPool returns an empty checker pool.
+func NewPool() *Pool { return &Pool{} }
+
+// Get borrows a reset checker for (obj, realTime) over n processes.
+func (p *Pool) Get(obj spec.Object, realTime bool, n int) *Incremental {
+	for i, c := range p.chks {
+		if !p.used[i] && c.realTime == realTime && c.obj.Name() == obj.Name() {
+			p.used[i] = true
+			c.obj = obj
+			c.Reset(n)
+			return c
+		}
+	}
+	c := NewIncremental(obj, realTime, n)
+	p.chks = append(p.chks, c)
+	p.used = append(p.used, true)
+	return c
+}
+
+// Reclaim returns every borrowed checker to the pool.
+func (p *Pool) Reclaim() {
+	for i := range p.used {
+		p.used[i] = false
+	}
+}

@@ -85,7 +85,7 @@ func (o *Outcome) diverge(name, format string, args ...any) {
 
 // runChecks evaluates every applicable differential check, appending
 // divergences and bookkeeping to the outcome.
-func runChecks(out *Outcome, l lang.Lang, lb adversary.Labeled, fam family, res *monitor.Result, tau *adversary.Timed) {
+func (r Runner) runChecks(out *Outcome, l lang.Lang, lb adversary.Labeled, fam family, res *monitor.Result, tau *adversary.Timed) {
 	s := out.Spec
 	crashed := len(s.Crashes) > 0
 
@@ -121,13 +121,13 @@ func runChecks(out *Outcome, l lang.Lang, lb adversary.Labeled, fam family, res 
 		if len(prefix) > labelSafetyCap {
 			prefix = prefix[:labelSafetyCap]
 		}
-		if l.SafetyViolated(prefix) {
+		if r.safetyViolated(l, prefix) {
 			out.diverge(CheckLabelSafety,
 				"source %s is labelled in-language but its exhibited prefix fails the %s safety checker", lb.Name, l.Name)
 		}
 	}
 
-	checkClass(out, l, lb, fam, res, tau)
+	r.checkClass(out, l, lb, fam, res, tau)
 }
 
 // checkCrashQuiet asserts a crashed process reports no verdict after its
@@ -242,7 +242,7 @@ func checkOwnSafety(out *Outcome, res *monitor.Result) {
 // No such excuse exists for violations the monitors observe without
 // real-time information: liveness violations (announced counts never
 // converge) and violations the sketch itself exhibits.
-func checkClass(out *Outcome, l lang.Lang, lb adversary.Labeled, fam family, res *monitor.Result, tau *adversary.Timed) {
+func (r Runner) checkClass(out *Outcome, l lang.Lang, lb adversary.Labeled, fam family, res *monitor.Result, tau *adversary.Timed) {
 	n := out.Spec.N
 	sketchBad := func(bad func(word.Word) bool) bool {
 		sk, err := res.Sketch(n, tau)
@@ -313,15 +313,16 @@ func checkClass(out *Outcome, l lang.Lang, lb adversary.Labeled, fam family, res
 
 	case famPred:
 		out.ran(CheckClass)
+		langBad := func(w word.Word) bool { return r.safetyViolated(l, w) }
 		if lb.In {
 			ev := core.Eval{Class: core.PSD,
-				SketchViolated: func() bool { return sketchBad(l.SafetyViolated) }}
+				SketchViolated: func() bool { return sketchBad(langBad) }}
 			if err := ev.Check(res, true); err != nil {
 				out.diverge(CheckClass, "PSD source %s: %v", lb.Name, err)
 			}
 			return
 		}
-		if res.TotalNO() == 0 && l.SafetyViolated(cappedHistory) && sketchBad(l.SafetyViolated) {
+		if res.TotalNO() == 0 && langBad(cappedHistory) && sketchBad(langBad) {
 			out.diverge(CheckClass,
 				"PSD source %s: exhibited word and sketch both violate %s safety but no process ever reported NO", lb.Name, l.Name)
 		}

@@ -92,6 +92,11 @@ type Options struct {
 	// byte-identical either way; the flag exists for differential tests and
 	// as an escape hatch.
 	Unpooled bool
+	// Unincremental disables the incremental consistency checkers (see
+	// Runner.Unincremental): every witness search re-runs from scratch.
+	// Reports are byte-identical either way; the flag exists for differential
+	// tests and as an escape hatch while the incremental path is new.
+	Unincremental bool
 	// Corpus, when non-nil, turns the sweep coverage-guided: mutation draws
 	// take parents from it, and specs producing coverage signatures no
 	// corpus entry covers are added to it as the sweep runs (the caller owns
@@ -241,7 +246,7 @@ func Explore(opts Options) (*Report, error) {
 	defer pool.Close()
 	runners := make([]Runner, pool.Workers())
 	for w := range runners {
-		runners[w] = Runner{Wrap: opts.Wrap}
+		runners[w] = Runner{Wrap: opts.Wrap, Unincremental: opts.Unincremental}
 		if !opts.Unpooled {
 			runners[w].Session = monitor.NewSession()
 		}

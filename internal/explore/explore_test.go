@@ -193,6 +193,49 @@ func TestExplorePooledMatchesUnpooled(t *testing.T) {
 	}
 }
 
+func TestExploreIncrementalMatchesUnincremental(t *testing.T) {
+	// The incremental checker is an optimization, never a semantic knob: for
+	// every scenario family the folded report must be byte-identical with the
+	// incremental path on and off, across worker counts and pooling — the
+	// same contract pooling itself carries. A mismatch means a stale memo
+	// corrupted a verdict somewhere, which the per-package differentials
+	// should have caught first.
+	n := sweepSize() / 2
+	for _, fam := range []string{FamLang, FamObj, FamMsg} {
+		fam := fam
+		t.Run(fam, func(t *testing.T) {
+			gen := GenConfig{MaxCrashes: 2}
+			if fam != FamLang {
+				gen.Families = []string{fam}
+			}
+			var renders []string
+			for _, cfg := range []struct {
+				unincremental bool
+				unpooled      bool
+				workers       int
+			}{{false, false, 1}, {true, false, 1}, {true, true, 1}, {false, false, 4}, {true, false, 4}} {
+				rep, err := Explore(Options{
+					Master: 11, Scenarios: n, Workers: cfg.workers, Gen: gen,
+					Unpooled: cfg.unpooled, Unincremental: cfg.unincremental,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				js, err := json.Marshal(rep)
+				if err != nil {
+					t.Fatal(err)
+				}
+				renders = append(renders, string(js))
+			}
+			for i := 1; i < len(renders); i++ {
+				if renders[i] != renders[0] {
+					t.Fatalf("configuration %d folded a different report:\n%s\nvs\n%s", i, renders[i], renders[0])
+				}
+			}
+		})
+	}
+}
+
 func TestShippedMonitorsHaveNoDivergence(t *testing.T) {
 	// The headline differential claim: across random schedules, crashes and
 	// sources, the shipped monitors never contradict the oracles. Any

@@ -204,6 +204,9 @@ func (r Runner) executeMsg(s Spec) (*Outcome, error) {
 	inner := &msgService{Service: sut.NewService(s.N, impl, wl), net: nt}
 	tau := adversary.NewTimed(s.N, inner, adversary.ArrayAtomic)
 	m := monitor.NewLin(md.obj, tau, adversary.ArrayAtomic)
+	if r.Unincremental {
+		m = monitor.NewLinScratch(md.obj, tau, adversary.ArrayAtomic)
+	}
 	if r.Wrap != nil {
 		m = r.Wrap(m)
 	}

@@ -6,9 +6,11 @@ import (
 	"fmt"
 
 	"github.com/drv-go/drv/internal/adversary"
+	"github.com/drv-go/drv/internal/check"
 	"github.com/drv-go/drv/internal/lang"
 	"github.com/drv-go/drv/internal/monitor"
 	"github.com/drv-go/drv/internal/sched"
+	"github.com/drv-go/drv/internal/word"
 )
 
 // family groups the languages by the monitor construction the explorer runs
@@ -96,6 +98,36 @@ type Runner struct {
 	// but the runner must not be used concurrently (explore gives each
 	// worker its own).
 	Session *monitor.Session
+	// Unincremental disables the incremental consistency checkers: the
+	// predictive monitors and the label oracles re-run every witness search
+	// from scratch, as before the incremental checker existed. Outcomes are
+	// byte-identical either way (the differential tests pin it); the flag is
+	// the escape hatch — and the differential driver — while the incremental
+	// path is new.
+	Unincremental bool
+}
+
+// safetyViolated evaluates the language's safety test on w. Languages whose
+// test is a witness-search condition (Lang.Checker) run through an
+// incremental checker — one pass over w even for the per-prefix-quantified
+// conditions, where the closed-over checker re-searches every response-ended
+// prefix — borrowing from the pooled session's checker pool when there is
+// one. The boolean is identical on every path.
+func (r Runner) safetyViolated(l lang.Lang, w word.Word) bool {
+	c := l.Checker
+	if c == nil || r.Unincremental {
+		return l.SafetyViolated(w)
+	}
+	var chk *check.Incremental
+	if r.Session != nil {
+		chk = r.Session.CheckPool().Get(l.Object, c.RealTime, w.Procs())
+	} else {
+		chk = check.NewIncremental(l.Object, c.RealTime, w.Procs())
+	}
+	if c.PerPrefix {
+		return chk.AnyPrefixViolated(w)
+	}
+	return !chk.CheckWord(w)
 }
 
 // Execute runs the scenario and differentially checks its verdicts. The
@@ -173,7 +205,7 @@ func (r Runner) Execute(s Spec) (*Outcome, error) {
 	for p := range res.Verdicts {
 		out.Verdicts += len(res.Verdicts[p])
 	}
-	runChecks(out, l, lb, fam, res, tau)
+	r.runChecks(out, l, lb, fam, res, tau)
 	out.Signature = signatureOf(out, res)
 	return out, nil
 }
@@ -191,9 +223,14 @@ func (r Runner) buildMonitor(fam family, l lang.Lang, tau *adversary.Timed) moni
 		m = monitor.NewECLed(adversary.ArrayAtomic)
 	default:
 		obj := l.Object
-		switch l.Name {
-		case "LIN_REG", "LIN_LED":
+		realTime := l.Name == "LIN_REG" || l.Name == "LIN_LED"
+		switch {
+		case realTime && r.Unincremental:
+			m = monitor.NewLinScratch(obj, tau, adversary.ArrayAtomic)
+		case realTime:
 			m = monitor.NewLin(obj, tau, adversary.ArrayAtomic)
+		case r.Unincremental:
+			m = monitor.NewSCScratch(obj, tau, adversary.ArrayAtomic)
 		default:
 			m = monitor.NewSC(obj, tau, adversary.ArrayAtomic)
 		}

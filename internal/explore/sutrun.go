@@ -211,6 +211,9 @@ func (r Runner) executeObj(s Spec) (*Outcome, error) {
 	inner := sut.NewService(s.N, id.make(s.N), wl)
 	tau := adversary.NewTimed(s.N, inner, adversary.ArrayAtomic)
 	m := monitor.NewLin(od.obj, tau, adversary.ArrayAtomic)
+	if r.Unincremental {
+		m = monitor.NewLinScratch(od.obj, tau, adversary.ArrayAtomic)
+	}
 	if r.Wrap != nil {
 		m = r.Wrap(m)
 	}

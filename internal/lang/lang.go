@@ -29,6 +29,11 @@ type Lang struct {
 	// RealTimeOblivious is the Definition 5.3 classification the paper
 	// derives: it determines decidability against A via Theorem 5.2.
 	RealTimeOblivious bool
+	// Checker, when non-nil, states that SafetyViolated is exactly the
+	// witness-search consistency condition over Object described by its
+	// fields, so callers that check many prefixes of one history may run it
+	// through an incremental checker instead of the closed-over functions.
+	Checker *ObjectChecker
 	// Sources returns labelled behaviour generators over n processes.
 	// Deterministic in seed.
 	Sources func(n int, seed int64) []adversary.Labeled
@@ -62,6 +67,19 @@ func anyPrefixViolates(violated func(word.Word) bool) func(word.Word) bool {
 	}
 }
 
+// ObjectChecker maps a language's safety test onto the witness-search
+// checkers of package check: SafetyViolated(w) equals, for RealTime,
+// !Linearizable(Object, w) (respectively !SeqConsistent), lifted by
+// anyPrefixViolates when PerPrefix is set. The equivalence is pinned by the
+// explorer's differential tests.
+type ObjectChecker struct {
+	// RealTime selects linearizability; false selects sequential consistency.
+	RealTime bool
+	// PerPrefix marks the non-prefix-closed conditions, which quantify the
+	// violation test over every response-ended prefix.
+	PerPrefix bool
+}
+
 // LinReg is the linearizable register language (Definition 2.4).
 func LinReg() Lang {
 	reg := spec.Register()
@@ -70,6 +88,7 @@ func LinReg() Lang {
 		Object:            reg,
 		SafetyViolated:    func(w word.Word) bool { return !check.Linearizable(reg, w) },
 		RealTimeOblivious: false,
+		Checker:           &ObjectChecker{RealTime: true},
 		Sources:           registerSources(true),
 	}
 }
@@ -82,6 +101,7 @@ func SCReg() Lang {
 		Object:            reg,
 		SafetyViolated:    anyPrefixViolates(func(w word.Word) bool { return !check.SeqConsistent(reg, w) }),
 		RealTimeOblivious: false,
+		Checker:           &ObjectChecker{PerPrefix: true},
 		Sources:           registerSources(false),
 	}
 }
@@ -94,6 +114,7 @@ func LinLed() Lang {
 		Object:            led,
 		SafetyViolated:    func(w word.Word) bool { return !check.Linearizable(led, w) },
 		RealTimeOblivious: false,
+		Checker:           &ObjectChecker{RealTime: true},
 		Sources:           ledgerSources(true),
 	}
 }
@@ -106,6 +127,7 @@ func SCLed() Lang {
 		Object:            led,
 		SafetyViolated:    anyPrefixViolates(func(w word.Word) bool { return !check.SeqConsistent(led, w) }),
 		RealTimeOblivious: false,
+		Checker:           &ObjectChecker{PerPrefix: true},
 		Sources:           ledgerSources(false),
 	}
 }

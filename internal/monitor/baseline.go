@@ -55,6 +55,7 @@ type naiveOrderLogic struct {
 
 	inv     word.Symbol
 	count   int
+	tbuf    []sketch.Triple // publish's collection buffer, reused per round
 	verdict Verdict
 }
 
@@ -66,7 +67,8 @@ func (l *naiveOrderLogic) PostRecv(p *sched.Proc, resp adversary.Response) {
 		id = word.OpID{Proc: p.ID, Idx: l.count}
 	}
 	l.count++
-	triples := l.board.publish(p, sketch.Triple{ID: id, Inv: l.inv, Res: resp.Sym})
+	l.tbuf = l.board.publish(p, sketch.Triple{ID: id, Inv: l.inv, Res: resp.Sym}, l.tbuf)
+	triples := l.tbuf
 	// Build the most permissive history consistent with what is known:
 	// per-process order only — all cross-process pairs concurrent.
 	h := orderFreeWord(triples)

@@ -66,6 +66,7 @@ type consensusLogic struct {
 
 	inv     word.Symbol
 	count   int
+	tbuf    []sketch.Triple // publish's collection buffer, reused per round
 	known   map[word.OpID]sketch.Triple
 	agreed  []word.OpID // the process's view of the decided log prefix
 	flag    bool
@@ -84,7 +85,8 @@ func (l *consensusLogic) PostRecv(p *sched.Proc, resp adversary.Response) {
 		id = word.OpID{Proc: p.ID, Idx: l.count}
 	}
 	l.count++
-	for _, tr := range l.board.publish(p, sketch.Triple{ID: id, Inv: l.inv, Res: resp.Sym}) {
+	l.tbuf = l.board.publish(p, sketch.Triple{ID: id, Inv: l.inv, Res: resp.Sym}, l.tbuf)
+	for _, tr := range l.tbuf {
 		l.known[tr.ID] = tr
 	}
 	// Catch up with the decided prefix, then install our operation at the

@@ -40,7 +40,8 @@ type ecledLogic struct {
 
 	inv     word.Symbol
 	count   int
-	flag    bool // ordering clause violated: sticky NO
+	tbuf    []sketch.Triple // publish's collection buffer, reused per round
+	flag    bool            // ordering clause violated: sticky NO
 	verdict Verdict
 
 	// prevAppends is the set of records whose append invocations were
@@ -61,7 +62,8 @@ func (l *ecledLogic) PostRecv(p *sched.Proc, resp adversary.Response) {
 		id = word.OpID{Proc: p.ID, Idx: l.count}
 	}
 	l.count++
-	triples := l.board.publish(p, sketch.Triple{ID: id, Inv: l.inv, Res: resp.Sym})
+	l.tbuf = l.board.publish(p, sketch.Triple{ID: id, Inv: l.inv, Res: resp.Sym}, l.tbuf)
+	triples := l.tbuf
 	h := orderFreeWord(triples)
 
 	if l.flag {

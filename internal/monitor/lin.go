@@ -27,13 +27,16 @@ func newTripleBoard(n int, kind adversary.ArrayKind) *tripleBoard {
 }
 
 // publish appends the process's triple and makes it visible; then snapshots
-// the board, returning every published triple (Figure 8, Line 05).
-func (b *tripleBoard) publish(p *sched.Proc, tr sketch.Triple) []sketch.Triple {
+// the board, returning every published triple (Figure 8, Line 05). The
+// triples are collected into buf, which each logic retains and hands back
+// every round, so the per-round collection stops allocating once the buffer
+// has grown to the execution's size.
+func (b *tripleBoard) publish(p *sched.Proc, tr sketch.Triple, buf []sketch.Triple) []sketch.Triple {
 	id := p.ID
 	b.logs[id] = append(b.logs[id], tr)
 	b.counts.Write(p, id, len(b.logs[id]))
 	snap := b.counts.Snapshot(p)
-	var out []sketch.Triple
+	out := buf[:0]
 	for j, c := range snap {
 		out = append(out, b.logs[j][:c]...)
 	}
@@ -48,37 +51,96 @@ func (b *tripleBoard) publish(p *sched.Proc, tr sketch.Triple) []sketch.Triple {
 // processes interact with (its announcement log resolves view contents);
 // kind selects the implementation of M.
 func NewLin(obj spec.Object, tau *adversary.Timed, kind adversary.ArrayKind) Monitor {
-	return newPredictive("lin-fig8/"+obj.Name()+"/"+kindName(kind), tau, kind,
-		func(h word.Word) bool { return check.Linearizable(obj, h) })
+	return newPredictive("lin-fig8/"+obj.Name()+"/"+kindName(kind), tau, kind, obj, true, false)
 }
 
 // NewSC is V_O with the sequential-consistency check: the same construction
 // predictively strongly decides SC_O (Table 1 rows SC_REG, SC_LED).
 func NewSC(obj spec.Object, tau *adversary.Timed, kind adversary.ArrayKind) Monitor {
-	return newPredictive("sc-fig8/"+obj.Name()+"/"+kindName(kind), tau, kind,
-		func(h word.Word) bool { return check.SeqConsistent(obj, h) })
+	return newPredictive("sc-fig8/"+obj.Name()+"/"+kindName(kind), tau, kind, obj, false, false)
 }
 
-func newPredictive(name string, tau *adversary.Timed, kind adversary.ArrayKind, accept func(word.Word) bool) Monitor {
+// NewLinScratch is NewLin with the incremental verdict checker disabled:
+// every round re-runs the witness search from scratch on the full sketch
+// history. The monitor's name and verdict stream are byte-identical to
+// NewLin's — it exists as the differential reference (and the
+// Options.Unincremental escape hatch) while the incremental checker is new.
+func NewLinScratch(obj spec.Object, tau *adversary.Timed, kind adversary.ArrayKind) Monitor {
+	return newPredictive("lin-fig8/"+obj.Name()+"/"+kindName(kind), tau, kind, obj, true, true)
+}
+
+// NewSCScratch is the from-scratch reference form of NewSC.
+func NewSCScratch(obj spec.Object, tau *adversary.Timed, kind adversary.ArrayKind) Monitor {
+	return newPredictive("sc-fig8/"+obj.Name()+"/"+kindName(kind), tau, kind, obj, false, true)
+}
+
+func newPredictive(name string, tau *adversary.Timed, kind adversary.ArrayKind, obj spec.Object, realTime, scratch bool) Monitor {
 	return NewMonitor(name, func(n int) []Logic {
 		board := newTripleBoard(n, kind)
 		logics := make([]Logic, n)
 		for i := range logics {
-			logics[i] = &predictiveLogic{n: n, board: board, tau: tau, accept: accept}
+			logics[i] = &predictiveLogic{n: n, board: board, tau: tau, obj: obj, realTime: realTime, scratch: scratch}
 		}
 		return logics
 	})
 }
 
+// poolable is implemented by logics that can borrow per-run scratch state
+// from a session-owned pool; Session.Run attaches its pool after Monitor.New.
+type poolable interface {
+	attachPool(*check.Pool)
+}
+
 // predictiveLogic is the per-process body of Figure 8.
 type predictiveLogic struct {
-	n      int
-	board  *tripleBoard
-	tau    *adversary.Timed
-	accept func(word.Word) bool
+	n        int
+	board    *tripleBoard
+	tau      *adversary.Timed
+	obj      spec.Object
+	realTime bool
+	scratch  bool
+
+	pool *check.Pool        // session pool, when running on a pooled session
+	chk  *check.Incremental // this process's checker, borrowed lazily
+
+	tbuf    []sketch.Triple // publish's collection buffer, reused per round
+	builder sketch.Builder  // sketch scratch, reused per round
 
 	inv     word.Symbol
 	verdict Verdict
+}
+
+// attachPool hands the logic the running session's checker pool. Logics are
+// built fresh per run, so the nil chk makes the next accept borrow a reset
+// (likely recycled) checker from the pool.
+func (l *predictiveLogic) attachPool(p *check.Pool) {
+	l.pool = p
+	l.chk = nil
+}
+
+// accept decides the consistency condition on one sketch history. The
+// incremental path keeps a per-process checker alive across the verdict
+// stream: successive sketch histories usually extend each other, so each
+// round costs only the new suffix; non-extensions (views can reorder the
+// reconstructed past) reset transparently. The scratch path re-runs the
+// witness search whole each round — the two paths decide identically
+// (pinned by the check package's differential tests), so verdict streams
+// and report bytes do not depend on which one ran.
+func (l *predictiveLogic) accept(h word.Word) bool {
+	if l.scratch {
+		if l.realTime {
+			return check.Linearizable(l.obj, h)
+		}
+		return check.SeqConsistent(l.obj, h)
+	}
+	if l.chk == nil {
+		if l.pool != nil {
+			l.chk = l.pool.Get(l.obj, l.realTime, l.n)
+		} else {
+			l.chk = check.NewIncremental(l.obj, l.realTime, l.n)
+		}
+	}
+	return l.chk.CheckExtending(h)
 }
 
 // PreSend implements Line 02: "no communication is needed before sending".
@@ -91,13 +153,13 @@ func (l *predictiveLogic) PostRecv(p *sched.Proc, resp adversary.Response) {
 	if resp.View == nil {
 		panic("monitor: predictive monitor requires a timed service")
 	}
-	triples := l.board.publish(p, sketch.Triple{
+	l.tbuf = l.board.publish(p, sketch.Triple{
 		ID:   resp.ID,
 		Inv:  l.inv,
 		Res:  resp.Sym,
 		View: *resp.View,
-	})
-	h, err := sketch.Build(l.n, triples, l.tau.InvAt)
+	}, l.tbuf)
+	h, err := l.builder.Build(l.n, l.tbuf, l.tau.InvAt)
 	if err != nil {
 		// Incomparable views (possible only with collect-backed timed
 		// adversaries) leave the process without a usable history this

@@ -37,6 +37,7 @@ type secLogic struct {
 	tau   *adversary.Timed
 
 	inv     word.Symbol
+	tbuf    []sketch.Triple // publish's collection buffer, reused per round
 	clause4 bool
 }
 
@@ -53,12 +54,13 @@ func (l *secLogic) PostRecv(p *sched.Proc, resp adversary.Response) {
 	if resp.View == nil {
 		panic("monitor: SEC monitor requires a timed service")
 	}
-	triples := l.board.publish(p, sketch.Triple{
+	l.tbuf = l.board.publish(p, sketch.Triple{
 		ID:   resp.ID,
 		Inv:  l.inv,
 		Res:  resp.Sym,
 		View: *resp.View,
-	})
+	}, l.tbuf)
+	triples := l.tbuf
 	l.clause4 = false
 	for _, tr := range triples {
 		if tr.Inv.Op != spec.OpRead || tr.Res.Kind != word.Res {

@@ -2,6 +2,7 @@ package monitor
 
 import (
 	"github.com/drv-go/drv/internal/adversary"
+	"github.com/drv-go/drv/internal/check"
 	"github.com/drv-go/drv/internal/sched"
 )
 
@@ -26,6 +27,7 @@ type Session struct {
 	rt     *sched.Runtime
 	res    Result
 	bodies []func(p *sched.Proc)
+	checks *check.Pool
 
 	// Per-run state read by the pooled process bodies.
 	svc    adversary.Service
@@ -37,6 +39,19 @@ type Session struct {
 // NewSession returns an empty session; its runtime is created lazily at the
 // first Run and grows to the largest process count seen.
 func NewSession() *Session { return &Session{} }
+
+// CheckPool returns the session's consistency-checker pool. Logics that
+// re-check histories borrow grown checkers from it run after run, so small
+// scenarios batched onto one pooled runtime amortize checker setup the same
+// way they amortize the runtime's: after the first few runs of a workload,
+// borrowing is allocation-free. Like the session itself, the pool is
+// single-owner state — it must only be used from this session's runs.
+func (s *Session) CheckPool() *check.Pool {
+	if s.checks == nil {
+		s.checks = check.NewPool()
+	}
+	return s.checks
+}
 
 // Close tears down the pooled runtime. The session cannot run afterwards.
 func (s *Session) Close() {
@@ -131,6 +146,13 @@ func (s *Session) Run(cfg Config) *Result {
 	s.svc = svc
 	s.stats, _ = svc.(adversary.Stats)
 	s.logics = cfg.Monitor.New(cfg.N)
+	pool := s.CheckPool()
+	pool.Reclaim()
+	for _, l := range s.logics {
+		if pl, ok := l.(poolable); ok {
+			pl.attachPool(pool)
+		}
+	}
 	s.gate = cfg.Gate
 	s.resetResult(cfg.N)
 	for len(s.bodies) < cfg.N {

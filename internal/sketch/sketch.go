@@ -44,50 +44,80 @@ type Resolver func(word.OpID) word.Symbol
 // canonical representative of the construction's equivalence class (any
 // batch order yields the same precedence relations).
 func Build(n int, triples []Triple, resolve Resolver) (word.Word, error) {
+	var b Builder
+	return b.Build(n, triples, resolve)
+}
+
+// Builder holds Build's scratch buffers. A monitor logic that builds one
+// sketch per round reuses its Builder, so steady-state rounds allocate
+// nothing; the word a Build returns aliases the scratch and is valid until
+// the next call on the same Builder.
+type Builder struct {
+	tris  []Triple
+	out   word.Word
+	fresh []word.OpID
+}
+
+// Build is the buffer-reusing form of the package-level Build; both produce
+// byte-identical words. The triples slice is not modified.
+func (b *Builder) Build(n int, triples []Triple, resolve Resolver) (word.Word, error) {
 	if len(triples) == 0 {
 		return nil, nil
 	}
-	// Distinct views, deduplicated by canonical key.
-	distinct := map[string]adversary.View{}
-	byKey := map[string][]Triple{}
-	for _, tr := range triples {
-		if !tr.View.Contains(tr.ID) {
-			return nil, fmt.Errorf("sketch: triple %v has view %v missing its own invocation", tr.ID, tr.View)
-		}
-		k := tr.View.Key()
-		distinct[k] = tr.View
-		byKey[k] = append(byKey[k], tr)
-	}
-	views := make([]adversary.View, 0, len(distinct))
-	for _, v := range distinct {
-		views = append(views, v)
-	}
-	slices.SortFunc(views, func(a, b adversary.View) int { return cmp.Compare(a.Total(), b.Total()) })
-	for i := 1; i < len(views); i++ {
-		if !views[i-1].Leq(views[i]) {
-			return nil, fmt.Errorf("%w: %v vs %v", ErrIncomparableViews, views[i-1], views[i])
+	for i := range triples {
+		if !triples[i].View.Contains(triples[i].ID) {
+			return nil, fmt.Errorf("sketch: triple %v has view %v missing its own invocation", triples[i].ID, triples[i].View)
 		}
 	}
-
-	out := make(word.Word, 0, 2*len(triples))
-	var fresh []word.OpID
-	prev := adversary.NewView(make([]int, n))
-	for _, v := range views {
-		// Step 1: invocations newly visible in this view.
+	// Sorting by (view total, identifier) groups each distinct view of a
+	// containment chain into one run — equal totals force equal views — with
+	// the run's responses already in canonical batch order.
+	b.tris = append(b.tris[:0], triples...)
+	slices.SortFunc(b.tris, func(x, y Triple) int {
+		if d := cmp.Compare(x.View.Total(), y.View.Total()); d != 0 {
+			return d
+		}
+		return compareOpIDs(x.ID, y.ID)
+	})
+	out := b.out[:0]
+	fresh := b.fresh[:0]
+	var prev adversary.View // the empty view
+	for i := 0; i < len(b.tris); {
+		v := b.tris[i].View
+		j := i + 1
+		for ; j < len(b.tris) && b.tris[j].View.Total() == v.Total(); j++ {
+			if !b.tris[j].View.Equal(v) {
+				b.out, b.fresh = out, fresh
+				return nil, fmt.Errorf("%w: %v vs %v", ErrIncomparableViews, v, b.tris[j].View)
+			}
+		}
+		if !prev.Leq(v) {
+			b.out, b.fresh = out, fresh
+			return nil, fmt.Errorf("%w: %v vs %v", ErrIncomparableViews, prev, v)
+		}
+		// Step 1: invocations newly visible in this view, enumerated in
+		// identifier order (Diff ascends by process then index).
 		fresh = fresh[:0]
-		v.Diff(prev, func(id word.OpID) { fresh = append(fresh, id) })
-		slices.SortFunc(fresh, compareOpIDs)
+		for p := 0; p < v.Procs(); p++ {
+			lo := 0
+			if p < prev.Procs() {
+				lo = prev.Count(p)
+			}
+			for k := lo; k < v.Count(p); k++ {
+				fresh = append(fresh, word.OpID{Proc: p, Idx: k})
+			}
+		}
 		for _, id := range fresh {
 			out = append(out, resolve(id))
 		}
 		// Step 2: responses of the operations carrying exactly this view.
-		batch := byKey[v.Key()]
-		slices.SortFunc(batch, func(a, b Triple) int { return compareOpIDs(a.ID, b.ID) })
-		for _, tr := range batch {
-			out = append(out, tr.Res)
+		for k := i; k < j; k++ {
+			out = append(out, b.tris[k].Res)
 		}
 		prev = v
+		i = j
 	}
+	b.out, b.fresh = out, fresh
 	return out, nil
 }
 

@@ -170,6 +170,11 @@ type ledger struct{}
 
 func (ledger) Name() string { return "ledger" }
 func (ledger) Init() State  { return ledState{} }
+
+// InternRoot implements spec.RootInterner: the returned root node anchors a
+// private interned tree of append children, so one checker's searches share
+// ledger states across reconverging branches.
+func (ledger) InternRoot() State { return ledState{n: &ledNode{root: true}} }
 func (ledger) Ops() []OpSig {
 	return []OpSig{{Name: OpAppend, Mutating: true}, {Name: OpGet}}
 }
@@ -194,9 +199,16 @@ type ledState struct {
 type ledNode struct {
 	parent *ledNode
 	rec    word.Rec
-	enc    string   // lazy: "l" + rec + "|" per record, prefix-shared
-	seq    word.Seq // lazy: materialized record list
+	root   bool       // an empty-ledger anchor from InternRoot
+	enc    string     // lazy: "l" + rec + "|" per record, prefix-shared
+	seq    word.Seq   // lazy: materialized record list
+	val    word.Value // lazy: seq boxed once, so get never re-boxes
+	kids   []*ledNode // interned append children, one per distinct record
 }
+
+// emptyRecs is the boxed return of get on the empty ledger, shared so the
+// hot checker loop never re-boxes the slice header.
+var emptyRecs word.Value = word.Seq(nil)
 
 func (s ledState) Key() string {
 	if s.n == nil {
@@ -207,13 +219,17 @@ func (s ledState) Key() string {
 
 func (n *ledNode) key() string {
 	if n.enc == "" {
-		n.enc = ledState{n.parent}.Key() + string(n.rec) + "|"
+		if n.root {
+			n.enc = "l"
+		} else {
+			n.enc = ledState{n.parent}.Key() + string(n.rec) + "|"
+		}
 	}
 	return n.enc
 }
 
 func (s ledState) recs() word.Seq {
-	if s.n == nil {
+	if s.n == nil || s.n.root {
 		return nil
 	}
 	n := s.n
@@ -235,11 +251,34 @@ func (s ledState) Apply(op string, arg word.Value) (State, word.Value, bool) {
 		if !ok {
 			return s, nil, false
 		}
+		// Checker searches re-apply the same appends along reconverging
+		// branches; interning children per (parent, record) makes those
+		// branches share one node instead of allocating per visit. Like the
+		// enc/seq caches, the kids list relies on states staying within one
+		// goroutine between appends.
+		if s.n != nil {
+			for _, k := range s.n.kids {
+				if k.rec == r {
+					return ledState{n: k}, word.Unit{}, true
+				}
+			}
+			k := &ledNode{parent: s.n, rec: r}
+			s.n.kids = append(s.n.kids, k)
+			return ledState{n: k}, word.Unit{}, true
+		}
 		return ledState{n: &ledNode{parent: s.n, rec: r}}, word.Unit{}, true
 	case OpGet:
 		// States are immutable and Values are never mutated by consumers, so
-		// the cached record list can be returned without a defensive clone.
-		return s, s.recs(), true
+		// the cached record list can be returned without a defensive clone —
+		// and without re-boxing it into a Value on every call, which was the
+		// dominant allocation of checker searches.
+		if s.n == nil || s.n.root {
+			return s, emptyRecs, true
+		}
+		if s.n.val == nil {
+			s.n.val = s.recs()
+		}
+		return s, s.n.val, true
 	default:
 		return s, nil, false
 	}

@@ -39,8 +39,21 @@ type KeyAppender interface {
 type OpSig struct {
 	Name string
 	// Mutating operations change the object state (write, inc, append, enq,
-	// push); generators use this to balance workloads.
+	// push); generators use this to balance workloads. The flag is a
+	// contract, not a hint: Apply of a non-mutating operation must return
+	// the state unchanged — the incremental checker's verdict caching
+	// (check.Incremental) relies on it.
 	Mutating bool
+}
+
+// RootInterner is an optional Object interface for states with internal
+// sharing: InternRoot returns a fresh state equivalent to Init whose
+// reachable states are interned privately for the caller, so a search that
+// re-applies the same operations along reconverging branches gets the same
+// state value back instead of an allocation. The returned state (and
+// everything reached from it) must stay within one goroutine.
+type RootInterner interface {
+	InternRoot() State
 }
 
 // Object is a sequential object: a name, an initial state, and an operation
