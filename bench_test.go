@@ -485,9 +485,17 @@ func BenchmarkExplore(b *testing.B) {
 		families []string
 	}
 	// Each family sweeps the same worker ladder, so the committed baseline
-	// records a scaling curve rather than one point: on a single-core
-	// machine the j-2/4/8 rows measure pool scheduling overhead (the curve
-	// stays flat), on a multi-core one they measure speedup.
+	// records a scaling curve rather than one point. On a single-core
+	// machine the ladder collapses to j-1: the higher rows would only
+	// measure pool scheduling overhead, not speedup, so they are skipped
+	// and the baseline says so — re-capture on a multi-core machine to
+	// record the real curve.
+	ladder := []int{1, 2, 4, 8}
+	skippedRows := ""
+	if runtime.NumCPU() == 1 {
+		ladder = []int{1}
+		skippedRows = "num_cpu=1: the j-2/4/8 rows are skipped (they would measure worker-pool overhead, not speedup); re-run on a multi-core machine to capture the scaling curve"
+	}
 	var configs []config
 	for _, fam := range []struct {
 		prefix   string
@@ -501,7 +509,7 @@ func BenchmarkExplore(b *testing.B) {
 		{"obj-", []string{explore.FamObj}},
 		{"msg-", []string{explore.FamMsg}},
 	} {
-		for _, j := range []int{1, 2, 4, 8} {
+		for _, j := range ladder {
 			configs = append(configs, config{
 				name:     fmt.Sprintf("%sj-%d", fam.prefix, j),
 				workers:  j,
@@ -546,13 +554,17 @@ func BenchmarkExplore(b *testing.B) {
 	}
 	if out := os.Getenv("BENCH_EXPLORE_OUT"); out != "" && rates[len(rates)-1].Scenarios > 0 {
 		baseline := struct {
-			Note   string `json:"note"`
-			NumCPU int    `json:"num_cpu"`
-			Rates  []rate `json:"rates"`
+			Note        string `json:"note"`
+			NumCPU      int    `json:"num_cpu"`
+			GoMaxProcs  int    `json:"gomaxprocs"`
+			SkippedRows string `json:"skipped_rows,omitempty"`
+			Rates       []rate `json:"rates"`
 		}{
-			Note:   "drvexplore throughput baseline; regenerate with: BENCH_EXPLORE_OUT=BENCH_explore.json go test -run '^$' -bench BenchmarkExplore -benchtime 2x . Scalability: rows sweep j=1/2/4/8 per family; with num_cpu=1 the curve is flat and higher-j rows measure worker-pool overhead, on multi-core machines they measure speedup. Scenarios are partitioned deterministically, so reports are byte-identical across j.",
-			NumCPU: runtime.NumCPU(),
-			Rates:  rates,
+			Note:        "drvexplore throughput baseline; regenerate with: BENCH_EXPLORE_OUT=BENCH_explore.json go test -run '^$' -bench BenchmarkExplore -benchtime 2x . Scalability: rows sweep j=1/2/4/8 per family on multi-core machines (collapsed to j-1 when num_cpu=1, see skipped_rows); scenarios are partitioned deterministically, so reports are byte-identical across j.",
+			NumCPU:      runtime.NumCPU(),
+			GoMaxProcs:  runtime.GOMAXPROCS(0),
+			SkippedRows: skippedRows,
+			Rates:       rates,
 		}
 		js, err := json.MarshalIndent(baseline, "", "  ")
 		if err != nil {
@@ -562,6 +574,145 @@ func BenchmarkExplore(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// ---------------------------------------------------------- pooled execution
+
+// stageExecRates and stageStats accumulate the BenchmarkObjExecute /
+// BenchmarkMsgExecute / BenchmarkExploreStages measurements; when
+// BENCH_STAGE_OUT is set, whichever benchmark finishes last flushes the
+// accumulated baseline (see BENCH_stage.json). Regenerate with:
+//
+//	BENCH_STAGE_OUT=BENCH_stage.json go test -run '^$' \
+//	  -bench 'BenchmarkObjExecute|BenchmarkMsgExecute|BenchmarkExploreStages' \
+//	  -benchtime 32x .
+var (
+	stageExecRates = map[string]stageExecRate{}
+	stageStats     explore.StageStats
+)
+
+type stageExecRate struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+func flushStageBaseline(b *testing.B) {
+	out := os.Getenv("BENCH_STAGE_OUT")
+	if out == "" {
+		return
+	}
+	baseline := struct {
+		Note       string                   `json:"note"`
+		NumCPU     int                      `json:"num_cpu"`
+		GoMaxProcs int                      `json:"gomaxprocs"`
+		Execute    map[string]stageExecRate `json:"execute"`
+		Stages     explore.StageStats       `json:"stages,omitempty"`
+	}{
+		Note:       "per-scenario execution and per-stage profiling baseline; regenerate with: BENCH_STAGE_OUT=BENCH_stage.json go test -run '^$' -bench 'BenchmarkObjExecute|BenchmarkMsgExecute|BenchmarkExploreStages' -benchtime 32x . The execute rows compare a fresh runner (new runtime, SUT and buffers every scenario) to a pooled one (Session + Reset contracts); the stages map is one 48-scenario sweep's generate/execute/monitor/check split per family, captured at Workers=1 where alloc deltas are exact.",
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Execute:    stageExecRates,
+		Stages:     stageStats,
+	}
+	js, err := json.MarshalIndent(baseline, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(js, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// benchFamSpecs draws a deterministic batch of specs from one family, the
+// same distribution the explorer sweeps (crashes, seeded-bug impls, drops).
+func benchFamSpecs(fam string, count int) []explore.Spec {
+	cfg := explore.GenConfig{Families: []string{fam}, MaxCrashes: 2}
+	specs := make([]explore.Spec, count)
+	for i := range specs {
+		specs[i] = explore.NewSpec(1, i, cfg)
+	}
+	return specs
+}
+
+// benchExecute measures one family's per-scenario execution cost on a fresh
+// runner (the pre-pooling path: new runtime, implementation, workload and
+// buffers every scenario) versus a pooled one (monitor session plus the
+// runner scratch with its Reset contracts). Outcomes are byte-identical
+// either way — TestExplorePooledMatchesUnpooled pins that — so the delta is
+// pure substrate cost.
+func benchExecute(b *testing.B, fam string) {
+	specs := benchFamSpecs(fam, 16)
+	measure := func(b *testing.B, r explore.Runner, label string) {
+		b.ReportAllocs()
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := r.Execute(specs[i%len(specs)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		runtime.ReadMemStats(&after)
+		stageExecRates[label] = stageExecRate{
+			NsPerOp:     float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+			AllocsPerOp: float64(after.Mallocs-before.Mallocs) / float64(b.N),
+		}
+	}
+	b.Run("fresh", func(b *testing.B) {
+		measure(b, explore.Runner{}, fam+"-execute/fresh")
+	})
+	b.Run("pooled", func(b *testing.B) {
+		s := monitor.NewSession()
+		defer s.Close()
+		r := explore.Runner{Session: s}.Pooled()
+		// Warm the scratch over the whole batch so the measured loop sees
+		// steady state: every impl cached, every buffer at capacity.
+		for _, sp := range specs {
+			if _, err := r.Execute(sp); err != nil {
+				b.Fatal(err)
+			}
+		}
+		measure(b, r, fam+"-execute/pooled")
+	})
+}
+
+// BenchmarkObjExecute measures one object-family scenario per iteration —
+// the unit the explorer pays benchExploreScenarios times per sweep.
+func BenchmarkObjExecute(b *testing.B) {
+	benchExecute(b, explore.FamObj)
+	flushStageBaseline(b)
+}
+
+// BenchmarkMsgExecute is BenchmarkObjExecute for the message-passing family,
+// which adds the network and the replica aux actors to the recycled set.
+func BenchmarkMsgExecute(b *testing.B) {
+	benchExecute(b, explore.FamMsg)
+	flushStageBaseline(b)
+}
+
+// BenchmarkExploreStages runs the default mixed-family sweep with per-stage
+// profiling on and keeps the last breakdown for the baseline: where a sweep's
+// time and allocations go, per family and per pipeline stage.
+func BenchmarkExploreStages(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rep, err := explore.Explore(explore.Options{
+			Master: 1, Scenarios: benchExploreScenarios, Workers: 1, StageStats: true,
+			Gen: explore.GenConfig{
+				Families:   []string{explore.FamLang, explore.FamObj, explore.FamMsg},
+				MaxCrashes: 2,
+			},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Divergent() {
+			b.Fatalf("benchmark sweep diverged: %v", rep.Failures)
+		}
+		stageStats = rep.Stages
+	}
+	flushStageBaseline(b)
 }
 
 // ---------------------------------------------------------------- porting

@@ -42,7 +42,7 @@
 //	drvexplore [-seeds k] [-master m] [-j workers] [-family lang,obj,msg]
 //	           [-lang L1,L2] [-obj O1,O2] [-impl I1,I2] [-net N1,N2]
 //	           [-crashes c] [-max-steps s] [-pool] [-incremental] [-replay-check]
-//	           [-no-shrink] [-progress]
+//	           [-no-shrink] [-progress] [-stage-stats]
 //	           [-corpus dir] [-mutate-frac f] [-corpus-save]
 //	           [-out seeds.json] [-cpuprofile f]
 //	drvexplore -replay "drv1:WEC_COUNT/exact:n=3:seed=7:pol=random:steps=2600"
@@ -62,6 +62,7 @@ import (
 	"slices"
 	"sort"
 	"strings"
+	"time"
 
 	"github.com/drv-go/drv/internal/explore"
 )
@@ -95,6 +96,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	corpusSave := fs.Bool("corpus-save", true, "with -corpus, write novel entries back to the directory after the sweep")
 	pool := fs.Bool("pool", true, "reuse one pooled runtime+session per worker (output is byte-identical either way)")
 	incremental := fs.Bool("incremental", true, "check verdict prefixes with the incremental witness search (output is byte-identical either way)")
+	stageStats := fs.Bool("stage-stats", false, "profile per-stage wall time and allocations (adds a stages map to the report and summary; timing is nondeterministic)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -130,6 +132,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Shrink:        !*noShrink,
 		Unpooled:      !*pool,
 		Unincremental: !*incremental,
+		StageStats:    *stageStats,
 		MutateFrac:    *mutateFrac,
 	}
 	if *family != "" {
@@ -205,6 +208,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintf(stdout, "checks run: %s\n", countList(rep.Checks))
 	fmt.Fprintf(stdout, "checks skipped: %s\n", countList(rep.Skipped))
+	if *stageStats && len(rep.Stages) > 0 {
+		fams := make([]string, 0, len(rep.Stages))
+		for fam := range rep.Stages {
+			fams = append(fams, fam)
+		}
+		sort.Strings(fams)
+		for _, fam := range fams {
+			b := rep.Stages[fam]
+			fmt.Fprintf(stdout, "stages[%s]: generate %s | execute %s | monitor %s | check %s\n",
+				fam, stageCost(b.Generate), stageCost(b.Execute), stageCost(b.Monitor), stageCost(b.Check))
+		}
+	}
 	if len(rep.ByObject) > 0 {
 		fmt.Fprintf(stdout, "objects: %s\n", countList(rep.ByObject))
 		fmt.Fprintf(stdout, "bugs: %d scenario(s) exposed bugs in %d implementation(s)\n",
@@ -304,6 +319,11 @@ func replayOne(specLine string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "DIVERGENCE %-14s %s\n", d.Check+":", d.Detail)
 	}
 	return 1
+}
+
+// stageCost renders one stage's aggregate as "<wall>/<allocs> allocs".
+func stageCost(c explore.StageCost) string {
+	return fmt.Sprintf("%s/%d allocs", time.Duration(c.Nanos).Round(time.Microsecond), c.Allocs)
 }
 
 // countList renders a count map deterministically as "name=count

@@ -82,9 +82,18 @@
 // internal/monitor.Session drives the Figure-1 loop on a pooled runtime with
 // reusable pre-sized Result buffers (monitor.Run is the one-shot wrapper),
 // and the experiment engine and the explorer give each worker one
-// runtime+session pair for its whole batch. Pooling is on by default,
-// byte-identical to fresh runtimes (golden-tested), and switchable with
-// -pool=false on drvtable and drvexplore; -cpuprofile profiles either
-// command. BENCH_sched.json and BENCH_explore.json track the core's
-// committed performance baselines.
+// runtime+session pair for its whole batch. The SUT substrate pools the same
+// way: every sut.Impl (and every internal/abd emulation) satisfies a
+// Reset(n) contract — construction parameters survive, run state does not —
+// so a pooled explore.Runner keeps one live instance per implementation per
+// worker plus one reusable workload, service, timed adversary and message
+// network (msgnet.Schedule.Reset re-arms order, inboxes and loss in place),
+// with steady-state per-scenario allocations pinned by AllocsPerRun budget
+// tests. Pooling is on by default, byte-identical to fresh substrate
+// (golden-tested per registered implementation, seeded-bug variants
+// included), and switchable with -pool=false on drvtable and drvexplore;
+// -cpuprofile profiles either command, and -stage-stats on drvexplore adds
+// an opt-in per-family generate/execute/monitor/check wall-time and
+// allocation breakdown to the report. BENCH_sched.json, BENCH_explore.json
+// and BENCH_stage.json track the core's committed performance baselines.
 package drv

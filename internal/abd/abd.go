@@ -71,12 +71,28 @@ type Register struct {
 // NewRegister creates an emulated register named name (names multiplex the
 // shared network) for n processes, initialized to init.
 func NewRegister(name string, n int, net *msgnet.Net, init int64) *Register {
-	return &Register{
-		name:     name,
-		n:        n,
-		net:      net,
-		replicas: make([]triple, n),
-		seq:      make([]int, n),
+	r := &Register{name: name, net: net}
+	r.Reset(n)
+	return r
+}
+
+// Reset restores the register to its freshly constructed state for n
+// processes, reusing the replica and sequence buffers. The name, the network
+// binding and the seeded-bug flags (construction parameters) survive;
+// auxServed is cleared and re-armed by the next Servers call.
+func (r *Register) Reset(n int) {
+	r.n = n
+	r.auxServed = false
+	if cap(r.replicas) >= n {
+		r.replicas = r.replicas[:n]
+		r.seq = r.seq[:n]
+	} else {
+		r.replicas = make([]triple, n)
+		r.seq = make([]int, n)
+	}
+	for i := 0; i < n; i++ {
+		r.replicas[i] = triple{}
+		r.seq[i] = 0
 	}
 }
 

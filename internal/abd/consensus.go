@@ -38,7 +38,25 @@ type Consensus struct {
 // NewConsensus creates an emulated consensus instance named name for n
 // processes, coordinated by process 0's replica.
 func NewConsensus(name string, n int, net *msgnet.Net) *Consensus {
-	return &Consensus{name: name, n: n, net: net, seq: make([]int, n)}
+	c := &Consensus{name: name, net: net}
+	c.Reset(n)
+	return c
+}
+
+// Reset restores the instance to its freshly constructed, undecided state for
+// n processes; the name, the network binding and the Echo bug (a construction
+// parameter) survive.
+func (c *Consensus) Reset(n int) {
+	c.n = n
+	c.decided, c.val = false, 0
+	if cap(c.seq) >= n {
+		c.seq = c.seq[:n]
+	} else {
+		c.seq = make([]int, n)
+	}
+	for i := 0; i < n; i++ {
+		c.seq[i] = 0
+	}
 }
 
 // Echo seeds the agreement bug: the coordinator still records the first
@@ -127,6 +145,9 @@ func (c *ConsensusImpl) WithName(name string) *ConsensusImpl {
 
 // Name implements sut.Impl.
 func (c *ConsensusImpl) Name() string { return c.name }
+
+// Reset implements sut.Impl by delegation to the wrapped emulation.
+func (c *ConsensusImpl) Reset(n int) { c.cons.Reset(n) }
 
 // Invoke implements sut.Impl.
 func (c *ConsensusImpl) Invoke(p *sched.Proc, op string, arg word.Value) word.Value {

@@ -19,19 +19,53 @@ import (
 // between the true totals at the collect's invocation and response, and the
 // total passes through every intermediate value one inc at a time.
 type Counter struct {
-	n     int
-	cells []*Register
-	local []int64 // each process's own count; single-writer, no race
+	name    string
+	n       int
+	net     *msgnet.Net
+	cells   []*Register
+	local   []int64 // each process's own count; single-writer, no race
+	dropInc bool    // DropIncStore was applied; newly grown cells inherit it
 }
 
 // NewCounter creates an emulated counter named name for n processes, with
 // one ABD cell per process multiplexed over the network.
 func NewCounter(name string, n int, net *msgnet.Net) *Counter {
-	c := &Counter{n: n, cells: make([]*Register, n), local: make([]int64, n)}
-	for i := 0; i < n; i++ {
-		c.cells[i] = NewRegister(fmt.Sprintf("%s.c%d", name, i), n, net, 0)
-	}
+	c := &Counter{name: name, net: net}
+	c.Reset(n)
 	return c
+}
+
+// Reset restores the counter to its freshly constructed state for n
+// processes: existing cells reset in place (they stay bound to the same
+// network), new cells are created when n grows, and the DropIncStore bug (a
+// construction parameter) survives.
+func (c *Counter) Reset(n int) {
+	c.n = n
+	if cap(c.cells) >= n {
+		c.cells = c.cells[:n]
+	}
+	for i, cell := range c.cells {
+		if cell == nil {
+			c.cells = c.cells[:i]
+			break
+		}
+		cell.Reset(n)
+	}
+	for i := len(c.cells); i < n; i++ {
+		cell := NewRegister(fmt.Sprintf("%s.c%d", c.name, i), n, c.net, 0)
+		if c.dropInc {
+			cell.DropWriteStore()
+		}
+		c.cells = append(c.cells, cell)
+	}
+	if cap(c.local) >= n {
+		c.local = c.local[:n]
+	} else {
+		c.local = make([]int64, n)
+	}
+	for i := 0; i < n; i++ {
+		c.local[i] = 0
+	}
 }
 
 // DropIncStore seeds the lost-increment bug: every cell drops its write
@@ -39,6 +73,7 @@ func NewCounter(name string, n int, net *msgnet.Net) *Counter {
 // replica and a reader sees it only when its query quorums happen to include
 // that replica — reads under-count and can even run backwards.
 func (c *Counter) DropIncStore() *Counter {
+	c.dropInc = true
 	for _, cell := range c.cells {
 		cell.DropWriteStore()
 	}
@@ -84,6 +119,9 @@ func (c *CounterImpl) WithName(name string) *CounterImpl {
 
 // Name implements sut.Impl.
 func (c *CounterImpl) Name() string { return c.name }
+
+// Reset implements sut.Impl by delegation to the wrapped emulation.
+func (c *CounterImpl) Reset(n int) { c.ctr.Reset(n) }
 
 // Invoke implements sut.Impl.
 func (c *CounterImpl) Invoke(p *sched.Proc, op string, arg word.Value) word.Value {

@@ -34,6 +34,9 @@ func (r *RegisterImpl) WithName(name string) *RegisterImpl {
 // Name implements sut.Impl.
 func (r *RegisterImpl) Name() string { return r.name }
 
+// Reset implements sut.Impl by delegation to the wrapped emulation.
+func (r *RegisterImpl) Reset(n int) { r.reg.Reset(n) }
+
 // Invoke implements sut.Impl.
 func (r *RegisterImpl) Invoke(p *sched.Proc, op string, arg word.Value) word.Value {
 	switch op {

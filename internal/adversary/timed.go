@@ -60,6 +60,24 @@ func NewTimed(n int, inner Service, kind ArrayKind) *Timed {
 	}
 }
 
+// Reset re-arms the wrapper for another run around inner, for n processes,
+// keeping the announcement array's kind (it resets in place) and reusing the
+// log and history buffers. Safe because History()/InnerHistory() clone: no
+// earlier run's result aliases the recycled backing arrays.
+func (t *Timed) Reset(n int, inner Service) {
+	t.inner = inner
+	t.m.Reset(n, 0)
+	t.history = t.history[:0]
+	if cap(t.logs) < n {
+		t.logs = make([][]word.Symbol, n)
+		return
+	}
+	t.logs = t.logs[:n]
+	for i := range t.logs {
+		t.logs[i] = t.logs[i][:0]
+	}
+}
+
 // NextInv implements Service by delegation; the wrapper adds nothing before
 // Line 01.
 func (t *Timed) NextInv(id int) (word.Symbol, bool) { return t.inner.NextInv(id) }

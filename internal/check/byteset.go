@@ -1,5 +1,7 @@
 package check
 
+import "hash/maphash"
+
 // byteSet is an open-addressing hash set of byte-string keys, stored in one
 // append-only arena: inserting copies the key bytes into the arena and the
 // table holds small fixed-width references. Unlike map[string]struct{}, no
@@ -96,12 +98,14 @@ func (s *byteSet) grow(size int) {
 	}
 }
 
-// hashBytes is FNV-1a, inlined so hashing a key never allocates.
+// hashSeed keys the memo hashes. The seed is per-process random, which only
+// perturbs probe order inside one set — memo semantics (and hence verdicts)
+// never depend on it.
+var hashSeed = maphash.MakeSeed()
+
+// hashBytes hashes a key through the runtime's bulk hash, which processes
+// words at a time — memo keys are hashed at every search node, so the
+// byte-at-a-time FNV this replaces was a top-line cost of hard searches.
 func hashBytes(b []byte) uint32 {
-	h := uint32(2166136261)
-	for _, c := range b {
-		h ^= uint32(c)
-		h *= 16777619
-	}
-	return h
+	return uint32(maphash.Bytes(hashSeed, b))
 }

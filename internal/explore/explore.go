@@ -97,6 +97,12 @@ type Options struct {
 	// Reports are byte-identical either way; the flag exists for differential
 	// tests and as an escape hatch while the incremental path is new.
 	Unincremental bool
+	// StageStats, when true, adds a per-family, per-stage cost breakdown
+	// (generate/execute/monitor/check wall time and allocations) to the
+	// report's Stages field. Off by default: stage timing is nondeterministic,
+	// so reports with it on are not byte-comparable, and the allocation deltas
+	// are process-global (exact only at Workers <= 1).
+	StageStats bool
 	// Corpus, when non-nil, turns the sweep coverage-guided: mutation draws
 	// take parents from it, and specs producing coverage signatures no
 	// corpus entry covers are added to it as the sweep runs (the caller owns
@@ -178,6 +184,10 @@ type Report struct {
 	// object/impl pair in first-hit scenario order, each with a shrunk
 	// reproducer when shrinking is on.
 	Bugs []Bug `json:"bugs,omitempty"`
+	// Stages is the opt-in per-family, per-stage cost breakdown (see
+	// Options.StageStats); nil when profiling was off, so default reports
+	// keep their exact shape.
+	Stages StageStats `json:"stages,omitempty"`
 }
 
 // Bug is one exposed implementation bug: the first scenario that tripped an
@@ -238,17 +248,27 @@ func Explore(opts Options) (*Report, error) {
 		round = defaultRound
 	}
 
-	// One runner per worker: each owns a pooled runtime+session pair for the
-	// whole sweep (unless pooling is off), so scenario setup stops paying
-	// per-execution goroutine spawns and result allocations. The pool itself
+	// One runner per worker: each owns a pooled runtime+session pair and a
+	// pooled execution substrate (SUT instances, workload, service, timed
+	// adversary, network — see Runner.Pooled) for the whole sweep, unless
+	// pooling is off, so scenario setup stops paying per-execution goroutine
+	// spawns, result allocations and substrate rebuilds. The pool itself
 	// persists across rounds too.
 	pool := experiment.NewPool(experiment.WorkerCount(opts.Scenarios, opts.Workers))
 	defer pool.Close()
 	runners := make([]Runner, pool.Workers())
+	var genStages *stageRecorder
+	if opts.StageStats {
+		genStages = newStageRecorder()
+	}
 	for w := range runners {
 		runners[w] = Runner{Wrap: opts.Wrap, Unincremental: opts.Unincremental}
 		if !opts.Unpooled {
 			runners[w].Session = monitor.NewSession()
+			runners[w] = runners[w].Pooled()
+		}
+		if opts.StageStats {
+			runners[w].stages = newStageRecorder()
 		}
 	}
 	defer func() {
@@ -276,6 +296,13 @@ func Explore(opts Options) (*Report, error) {
 	errs := make([]error, opts.Scenarios)
 	seen := map[string]bool{}
 	var mu sync.Mutex
+	// The generator and guidance rngs are reused across indices by reseeding:
+	// rand.Rand.Seed reproduces exactly the stream a fresh rand.NewSource
+	// yields, so the draw sequences — hence the specs — are byte-identical to
+	// per-index construction, without the two rng+source allocations per
+	// scenario. Spec building is sequential, so sharing them is race-free.
+	genRng := rand.New(rand.NewSource(0))
+	guideRng := rand.New(rand.NewSource(0))
 	for next := 0; next < opts.Scenarios; next += round {
 		batch := round
 		if next+batch > opts.Scenarios {
@@ -286,16 +313,20 @@ func Explore(opts Options) (*Report, error) {
 		// the one NewSpec consumes, so MutateFrac 0 reproduces the blind
 		// sweep exactly and worker count never enters.
 		for i := next; i < next+batch; i++ {
+			mark := genStages.start()
 			if opts.Corpus != nil && opts.Corpus.Len() > 0 {
-				guide := rand.New(rand.NewSource(mix(mix(opts.Master, guidedSalt), int64(i))))
-				if guide.Float64() < opts.MutateFrac {
-					parent := opts.Corpus.At(guide.Intn(opts.Corpus.Len()))
-					specs[i] = Mutate(parent, guide, opts.Gen)
+				guideRng.Seed(mix(mix(opts.Master, guidedSalt), int64(i)))
+				if guideRng.Float64() < opts.MutateFrac {
+					parent := opts.Corpus.At(guideRng.Intn(opts.Corpus.Len()))
+					specs[i] = Mutate(parent, guideRng, opts.Gen)
 					rep.Mutated++
+					genStages.stop(specs[i].Fam(), stageGenerate, mark)
 					continue
 				}
 			}
-			specs[i] = NewSpec(opts.Master, i, opts.Gen)
+			genRng.Seed(mix(opts.Master, int64(i)))
+			specs[i] = newSpecSeeded(genRng, opts.Gen)
+			genStages.stop(specs[i].Fam(), stageGenerate, mark)
 		}
 
 		pool.Run(batch, func(w, j int) {
@@ -383,6 +414,14 @@ func Explore(opts Options) (*Report, error) {
 	}
 	if opts.Corpus != nil {
 		rep.CorpusNew = opts.Corpus.Len() - rep.CorpusSeeds
+	}
+	if opts.StageStats {
+		stats := StageStats{}
+		stats.merge(genStages.stats)
+		for _, r := range runners {
+			stats.merge(r.stages.stats)
+		}
+		rep.Stages = stats
 	}
 	return rep, nil
 }

@@ -248,7 +248,14 @@ func stepRange(fam family, langName string) (lo, hi int) {
 // the pre-drv2 one, so existing sweeps replay byte-for-byte; a multi-family
 // config spends one extra draw picking the family first.
 func NewSpec(master int64, index int, cfg GenConfig) Spec {
-	rng := rand.New(rand.NewSource(mix(master, int64(index))))
+	return newSpecSeeded(rand.New(rand.NewSource(mix(master, int64(index)))), cfg)
+}
+
+// newSpecSeeded is NewSpec on a caller-owned rng already seeded with
+// mix(master, index). Explore's generator loop reseeds one reusable rng per
+// index instead of building a fresh source each time — rand.Rand.Seed
+// reproduces rand.NewSource's stream exactly, so the draws are identical.
+func newSpecSeeded(rng *rand.Rand, cfg GenConfig) Spec {
 	fams := cfg.families()
 	fam := fams[0]
 	if len(fams) > 1 {

@@ -48,8 +48,11 @@ type msgImplDef struct {
 	lin bool
 	// safe guarantees the object's secondary safety oracle.
 	safe bool
-	// make builds a fresh emulation for n processes on the network.
-	make func(n int, nt *msgnet.Net) (sut.Impl, []abd.Server)
+	// make builds a fresh emulation for n processes on the network. The
+	// second return re-derives the replica servers from the live emulation:
+	// pooled runners call it again after every Reset, because a counter's
+	// cell set (hence its server list) can grow when n does.
+	make func(n int, nt *msgnet.Net) (sut.Impl, func() []abd.Server)
 }
 
 // msgDef is one registered emulated object: its sequential specification,
@@ -77,39 +80,39 @@ var msgRegistry = []msgDef{
 	{
 		name: "register", obj: spec.Register(), safetyName: OracleSC, safety: scViolation,
 		impls: []msgImplDef{
-			{name: "abd", lin: true, safe: true, make: func(n int, nt *msgnet.Net) (sut.Impl, []abd.Server) {
+			{name: "abd", lin: true, safe: true, make: func(n int, nt *msgnet.Net) (sut.Impl, func() []abd.Server) {
 				r := abd.NewRegister("x", n, nt, 0)
-				return abd.NewRegisterImpl(r), []abd.Server{r}
+				return abd.NewRegisterImpl(r), func() []abd.Server { return []abd.Server{r} }
 			}},
-			{name: "nowriteback", lin: false, safe: false, make: func(n int, nt *msgnet.Net) (sut.Impl, []abd.Server) {
+			{name: "nowriteback", lin: false, safe: false, make: func(n int, nt *msgnet.Net) (sut.Impl, func() []abd.Server) {
 				r := abd.NewRegister("x", n, nt, 0).DropReadWriteBack()
-				return abd.NewRegisterImpl(r).WithName("register/nowriteback"), []abd.Server{r}
+				return abd.NewRegisterImpl(r).WithName("register/nowriteback"), func() []abd.Server { return []abd.Server{r} }
 			}},
 		},
 	},
 	{
 		name: "counter", obj: spec.Counter(), safetyName: OracleSECSafety, safety: secViolation,
 		impls: []msgImplDef{
-			{name: "abd", lin: true, safe: true, make: func(n int, nt *msgnet.Net) (sut.Impl, []abd.Server) {
+			{name: "abd", lin: true, safe: true, make: func(n int, nt *msgnet.Net) (sut.Impl, func() []abd.Server) {
 				c := abd.NewCounter("c", n, nt)
-				return abd.NewCounterImpl(c), counterServers(c)
+				return abd.NewCounterImpl(c), func() []abd.Server { return counterServers(c) }
 			}},
-			{name: "lost", lin: false, safe: false, make: func(n int, nt *msgnet.Net) (sut.Impl, []abd.Server) {
+			{name: "lost", lin: false, safe: false, make: func(n int, nt *msgnet.Net) (sut.Impl, func() []abd.Server) {
 				c := abd.NewCounter("c", n, nt).DropIncStore()
-				return abd.NewCounterImpl(c).WithName("counter/lost"), counterServers(c)
+				return abd.NewCounterImpl(c).WithName("counter/lost"), func() []abd.Server { return counterServers(c) }
 			}},
 		},
 	},
 	{
 		name: "consensus", obj: spec.Consensus(), safetyName: OracleSC, safety: scViolation,
 		impls: []msgImplDef{
-			{name: "coord", lin: true, safe: true, make: func(n int, nt *msgnet.Net) (sut.Impl, []abd.Server) {
+			{name: "coord", lin: true, safe: true, make: func(n int, nt *msgnet.Net) (sut.Impl, func() []abd.Server) {
 				c := abd.NewConsensus("k", n, nt)
-				return abd.NewConsensusImpl(c), []abd.Server{c}
+				return abd.NewConsensusImpl(c), func() []abd.Server { return []abd.Server{c} }
 			}},
-			{name: "echo", lin: false, safe: false, make: func(n int, nt *msgnet.Net) (sut.Impl, []abd.Server) {
+			{name: "echo", lin: false, safe: false, make: func(n int, nt *msgnet.Net) (sut.Impl, func() []abd.Server) {
 				c := abd.NewConsensus("k", n, nt).Echo()
-				return abd.NewConsensusImpl(c).WithName("consensus/echo"), []abd.Server{c}
+				return abd.NewConsensusImpl(c).WithName("consensus/echo"), func() []abd.Server { return []abd.Server{c} }
 			}},
 		},
 	},
@@ -177,32 +180,59 @@ type msgService struct {
 // Crash routes a crash into the network; the scheduler half is the runner's.
 func (m *msgService) Crash(id int) { m.net.Crash(id) }
 
+// msgSchedule derives the scenario's network schedule: the spec's order and
+// loss schedule, seeded from the net stream for the seeded orders.
+func msgSchedule(s Spec) msgnet.Schedule {
+	sch := msgnet.Schedule{Order: s.NetOrder, Drops: s.Drops}
+	if s.NetOrder == msgnet.OrderRandom || s.NetOrder == msgnet.OrderStarve {
+		sch.Seed = mix(s.Seed, netSalt)
+	}
+	return sch
+}
+
 // executeMsg runs one message-passing scenario: the emulated object's clients
 // under a seeded random workload, its replicas as aux actors, the network
 // delivering under the spec's schedule, all wrapped in Aτ and monitored by
-// V_O on the runner's pooled session when it has one.
+// V_O on the runner's pooled session when it has one. With scratch the
+// substrate is reused: the network re-arms in place (Schedule.Reset), the
+// cached emulation resets against it, and workload, service and Aτ recycle
+// their buffers; the Reset contracts make the outcomes byte-identical.
 func (r Runner) executeMsg(s Spec) (*Outcome, error) {
 	md, id, err := msgImplByName(s.Object, s.Impl)
 	if err != nil {
 		return nil, err
 	}
-	crash := map[int][]int{}
-	for _, c := range s.Crashes {
-		crash[c.Step] = append(crash[c.Step], c.Proc)
-	}
+	crash := r.crashMap(s)
 
-	sch := msgnet.Schedule{Order: s.NetOrder, Drops: s.Drops}
-	if s.NetOrder == msgnet.OrderRandom || s.NetOrder == msgnet.OrderStarve {
-		sch.Seed = mix(s.Seed, netSalt)
+	var nt *msgnet.Net
+	var servers []abd.Server
+	var inner *msgService
+	var tau *adversary.Timed
+	if sc := r.scratch; sc != nil {
+		nt, err = sc.network(s)
+		if err != nil {
+			return nil, err
+		}
+		var impl sut.Impl
+		impl, servers = sc.msgImpl(id, s)
+		sc.wl.Reset(md.obj, s.N, s.OpsPerProc, s.MutBias, mix(s.Seed, wlSalt))
+		sc.svc.Reset(s.N, impl, &sc.wl)
+		sc.msgSvc = msgService{Service: &sc.svc, net: nt}
+		inner = &sc.msgSvc
+		tau = sc.timed(s.N, inner)
+	} else {
+		nt, err = msgSchedule(s).New(s.N)
+		if err != nil {
+			return nil, err
+		}
+		var impl sut.Impl
+		var srvFn func() []abd.Server
+		impl, srvFn = id.make(s.N, nt)
+		servers = srvFn()
+		wl := sut.NewRandomWorkload(md.obj, s.N, s.OpsPerProc, s.MutBias, mix(s.Seed, wlSalt))
+		inner = &msgService{Service: sut.NewService(s.N, impl, wl), net: nt}
+		tau = adversary.NewTimed(s.N, inner, adversary.ArrayAtomic)
 	}
-	nt, err := sch.New(s.N)
-	if err != nil {
-		return nil, err
-	}
-	impl, servers := id.make(s.N, nt)
-	wl := sut.NewRandomWorkload(md.obj, s.N, s.OpsPerProc, s.MutBias, mix(s.Seed, wlSalt))
-	inner := &msgService{Service: sut.NewService(s.N, impl, wl), net: nt}
-	tau := adversary.NewTimed(s.N, inner, adversary.ArrayAtomic)
 	m := monitor.NewLin(md.obj, tau, adversary.ArrayAtomic)
 	if r.Unincremental {
 		m = monitor.NewLinScratch(md.obj, tau, adversary.ArrayAtomic)
@@ -225,12 +255,14 @@ func (r Runner) executeMsg(s Spec) (*Outcome, error) {
 		MaxSteps: s.Steps,
 		Crash:    crash,
 	}
+	mark := r.stages.start()
 	var res *monitor.Result
 	if r.Session != nil {
 		res = r.Session.Run(cfg)
 	} else {
 		res = monitor.Run(cfg)
 	}
+	r.stages.stop(FamMsg, stageExecute, mark)
 
 	out := &Outcome{
 		Spec:    s,
@@ -243,7 +275,7 @@ func (r Runner) executeMsg(s Spec) (*Outcome, error) {
 	for p := range res.Verdicts {
 		out.Verdicts += len(res.Verdicts[p])
 	}
-	runHistoryChecks(out, md.obj, md.safetyName, md.safety, id.lin, id.safe, len(s.Drops) > 0, res, tau)
+	r.runHistoryChecks(out, md.obj, md.safetyName, md.safety, id.lin, id.safe, len(s.Drops) > 0, res, tau)
 	out.Signature = msgSignature(out, res)
 	return out, nil
 }

@@ -1,0 +1,148 @@
+package explore
+
+// Pooled per-run transient state. A Runner without scratch allocates every
+// piece of a scenario's execution substrate fresh — workload, service, timed
+// adversary, crash schedule, network, implementation instance — and drops it
+// all on the floor when the scenario ends. A Runner with scratch (see
+// Runner.Pooled) instead keeps one instance of each per worker and re-arms it
+// through the Reset contracts (sut.Impl.Reset, sut.Service.Reset,
+// sut.RandomWorkload.Reset, adversary.Timed.Reset, msgnet.Schedule.Reset):
+// the pooled counterpart, on the execution side, of what monitor.Session is
+// on the runtime side and check.Pool is on the oracle side. Outcomes are
+// byte-identical either way — the Reset contracts guarantee a reused instance
+// exhibits exactly a fresh one's behaviour — which the reuse-vs-fresh
+// differential tests pin per registered implementation.
+
+import (
+	"github.com/drv-go/drv/internal/abd"
+	"github.com/drv-go/drv/internal/adversary"
+	"github.com/drv-go/drv/internal/msgnet"
+	"github.com/drv-go/drv/internal/sut"
+)
+
+// implKey identifies one registered implementation within its family's
+// registry; object and impl slugs never collide across families.
+type implKey struct{ object, impl string }
+
+// msgEntry caches one message-passing emulation bound to the scratch's
+// pooled network: the client-side impl plus the closure re-deriving its
+// replica servers (a counter's cell set can grow when Reset raises n, so the
+// server list cannot be cached once and for all).
+type msgEntry struct {
+	impl    sut.Impl
+	servers func() []abd.Server
+}
+
+// runScratch holds a Runner's reusable execution substrate. It is owned by
+// exactly one worker and never shared, so no synchronization is needed.
+type runScratch struct {
+	// impls caches one live instance per object/impl pair (object family),
+	// reset per scenario instead of rebuilt.
+	impls map[implKey]sut.Impl
+	// msgImpls caches one live emulation per object/impl pair (msg family),
+	// each bound to the pooled network nt.
+	msgImpls map[implKey]msgEntry
+	// wl, svc and tau are the per-scenario pipeline stages every family
+	// shares; msgSvc couples svc to the pooled network for the msg family.
+	wl     sut.RandomWorkload
+	svc    sut.Service
+	msgSvc msgService
+	tau    *adversary.Timed
+	// crash is the reusable crash-schedule map.
+	crash map[int][]int
+	// nt is the pooled network; created on the first msg scenario and re-armed
+	// by Schedule.Reset afterwards. The cached emulations hold this pointer.
+	nt *msgnet.Net
+}
+
+func newRunScratch() *runScratch {
+	return &runScratch{
+		impls:    map[implKey]sut.Impl{},
+		msgImpls: map[implKey]msgEntry{},
+		crash:    map[int][]int{},
+	}
+}
+
+// Pooled returns a copy of the runner that reuses one execution substrate
+// across the scenarios it runs — object and emulation instances (reset per
+// scenario through the sut.Impl Reset contract), workload, service, timed
+// adversary, crash map and network. Outcomes are byte-identical to a
+// scratch-less runner's; the copy must not be used concurrently (explore
+// gives each worker its own).
+func (r Runner) Pooled() Runner {
+	r.scratch = newRunScratch()
+	return r
+}
+
+// crashMap builds the spec's crash schedule, reusing the scratch map when the
+// runner has one.
+func (r Runner) crashMap(s Spec) map[int][]int {
+	var crash map[int][]int
+	if r.scratch != nil {
+		crash = r.scratch.crash
+		for k := range crash {
+			delete(crash, k)
+		}
+	} else {
+		crash = map[int][]int{}
+	}
+	for _, c := range s.Crashes {
+		crash[c.Step] = append(crash[c.Step], c.Proc)
+	}
+	return crash
+}
+
+// objImpl returns the cached instance for the scenario's object/impl pair,
+// reset for s.N processes, creating it on first use.
+func (sc *runScratch) objImpl(id implDef, s Spec) sut.Impl {
+	key := implKey{s.Object, s.Impl}
+	if impl, ok := sc.impls[key]; ok {
+		impl.Reset(s.N)
+		return impl
+	}
+	impl := id.make(s.N)
+	sc.impls[key] = impl
+	return impl
+}
+
+// timed returns the pooled timed adversary re-armed around inner.
+func (sc *runScratch) timed(n int, inner adversary.Service) *adversary.Timed {
+	if sc.tau == nil {
+		sc.tau = adversary.NewTimed(n, inner, adversary.ArrayAtomic)
+	} else {
+		sc.tau.Reset(n, inner)
+	}
+	return sc.tau
+}
+
+// network re-arms the pooled network for the scenario's schedule, creating it
+// on the first msg scenario.
+func (sc *runScratch) network(s Spec) (*msgnet.Net, error) {
+	sch := msgSchedule(s)
+	if sc.nt == nil {
+		nt, err := sch.New(s.N)
+		if err != nil {
+			return nil, err
+		}
+		sc.nt = nt
+		return nt, nil
+	}
+	if err := sch.Reset(sc.nt, s.N); err != nil {
+		return nil, err
+	}
+	return sc.nt, nil
+}
+
+// msgImpl returns the cached emulation for the scenario's object/impl pair,
+// reset for s.N processes, creating it (bound to the pooled network) on first
+// use. Call network first so the emulation binds the re-armed net.
+func (sc *runScratch) msgImpl(id msgImplDef, s Spec) (sut.Impl, []abd.Server) {
+	key := implKey{s.Object, s.Impl}
+	if e, ok := sc.msgImpls[key]; ok {
+		e.impl.Reset(s.N)
+		return e.impl, e.servers()
+	}
+	impl, servers := id.make(s.N, sc.nt)
+	sc.msgImpls[key] = msgEntry{impl: impl, servers: servers}
+	return impl, servers()
+}

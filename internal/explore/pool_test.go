@@ -1,0 +1,188 @@
+package explore
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+
+	"github.com/drv-go/drv/internal/monitor"
+)
+
+// reuseObjSpec builds a fixed object-family spec for one registered impl.
+func reuseObjSpec(object, impl string, seed int64, n int) Spec {
+	s := Spec{Family: FamObj, Object: object, Impl: impl, N: n, Seed: seed,
+		Policy: PolRandom, Steps: 1200, OpsPerProc: 4, MutBias: 0.5}
+	if seed%2 == 0 {
+		s.Crashes = []Crash{{Step: 40, Proc: 1}}
+	}
+	return s
+}
+
+// reuseMsgSpec builds a fixed message-family spec for one registered
+// emulation, cycling the network orders so reuse crosses order kinds too.
+func reuseMsgSpec(object, impl string, seed int64, n int) Spec {
+	s := Spec{Family: FamMsg, Object: object, Impl: impl, N: n, Seed: seed,
+		Policy: PolRandom, Steps: 4000, OpsPerProc: 3, MutBias: 0.5,
+		NetOrder: []string{"fifo", "lifo", "random", "starve"}[seed%4]}
+	switch seed % 3 {
+	case 0:
+		s.Crashes = []Crash{{Step: 200, Proc: 1}}
+	case 1:
+		s.Drops = []int{2, 3, 4}
+	}
+	return s
+}
+
+func TestPooledReuseMatchesFreshAcrossImpls(t *testing.T) {
+	// The Reset contract, pinned per registered implementation: executing a
+	// spec on a pooled runner whose cached instance already ran a *different*
+	// spec (different seed, process count, crash and network schedule) must
+	// reproduce a fresh instance's digest and signature exactly. This is the
+	// reuse-vs-fresh differential for every impl in both registries,
+	// seeded-bug variants included — a bug variant whose planted state leaked
+	// across runs would shift its signature here.
+	sess := monitor.NewSession()
+	defer sess.Close()
+	pooled := Runner{Session: sess}.Pooled()
+	check := func(t *testing.T, dirty, target Spec) {
+		t.Helper()
+		fresh, err := Execute(target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Dirty the cached instance (and the shared workload/service/Aτ
+		// buffers) with a run at a different size and seed...
+		if _, err := pooled.Execute(dirty); err != nil {
+			t.Fatal(err)
+		}
+		// ...then the target must come out byte-identical to fresh.
+		got, err := pooled.Execute(target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Digest != fresh.Digest || got.Signature != fresh.Signature {
+			t.Errorf("%s: reused %s/%s vs fresh %s/%s",
+				target, got.Digest, got.Signature, fresh.Digest, fresh.Signature)
+		}
+	}
+	for _, object := range Objects() {
+		for _, impl := range ImplsOf(object) {
+			t.Run(fmt.Sprintf("obj/%s/%s", object, impl), func(t *testing.T) {
+				check(t, reuseObjSpec(object, impl, 6, 2), reuseObjSpec(object, impl, 3, 3))
+			})
+		}
+	}
+	for _, object := range MsgObjects() {
+		for _, impl := range MsgImplsOf(object) {
+			t.Run(fmt.Sprintf("msg/%s/%s", object, impl), func(t *testing.T) {
+				// Shrinking n across reuse (3 then 2 then 3) plus crossing
+				// network orders is the hard case for the emulations: cell
+				// sets, replica arrays and inboxes must all re-arm.
+				check(t, reuseMsgSpec(object, impl, 6, 2), reuseMsgSpec(object, impl, 3, 3))
+			})
+		}
+	}
+}
+
+func TestPooledRunnersPerGoroutine(t *testing.T) {
+	// Worker isolation: each goroutine owns its own session and scratch, the
+	// way Explore wires its pool, and concurrent pooled execution agrees with
+	// sequential fresh execution. The race tier runs this under -race; a
+	// scratch accidentally shared across workers would trip it.
+	specs := make([]Spec, 0, 12)
+	for i := 0; i < 6; i++ {
+		specs = append(specs, NewSpec(91, i, objGen()))
+		specs = append(specs, NewSpec(91, i, msgGen()))
+	}
+	want := make([]string, len(specs))
+	for i, s := range specs {
+		out, err := Execute(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = out.Digest + "|" + out.Signature
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > 4 {
+		workers = 4
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sess := monitor.NewSession()
+			defer sess.Close()
+			r := Runner{Session: sess}.Pooled()
+			for i, s := range specs {
+				out, err := r.Execute(s)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				if got := out.Digest + "|" + out.Signature; got != want[i] {
+					errs[w] = fmt.Errorf("worker %d: %s: got %s want %s", w, s, got, want[i])
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+// Steady-state allocation budgets for one pooled scenario execution,
+// workload through verdict. The values pin the pooled substrate: remaining
+// allocations are per-scenario results (monitor state, sketches, oracle
+// scratch growth, history clones, the Outcome itself), not setup — a
+// regression that reintroduces per-scenario substrate construction (fresh
+// runtime, implementation, workload or network) blows well past them.
+const (
+	objAllocBudget = 2000 // measured steady state ~1536 (fresh runner: ~1849)
+	msgAllocBudget = 1100 // measured steady state ~868 (fresh runner: ~1267)
+)
+
+func TestPooledExecuteAllocBudgetObj(t *testing.T) {
+	testPooledAllocBudget(t, FamObj, objAllocBudget)
+}
+
+func TestPooledExecuteAllocBudgetMsg(t *testing.T) {
+	testPooledAllocBudget(t, FamMsg, msgAllocBudget)
+}
+
+func testPooledAllocBudget(t *testing.T, fam string, budget float64) {
+	cfg := GenConfig{Families: []string{fam}, MaxCrashes: 2}
+	specs := make([]Spec, 16)
+	for i := range specs {
+		specs[i] = NewSpec(1, i, cfg)
+	}
+	sess := monitor.NewSession()
+	defer sess.Close()
+	r := Runner{Session: sess}.Pooled()
+	// Warm to steady state: impls cached, buffers at capacity, oracle
+	// memo tables saturated for this spec batch.
+	for round := 0; round < 2; round++ {
+		for _, s := range specs {
+			if _, err := r.Execute(s); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	i := 0
+	avg := testing.AllocsPerRun(len(specs)*2, func() {
+		if _, err := r.Execute(specs[i%len(specs)]); err != nil {
+			t.Fatal(err)
+		}
+		i++
+	})
+	if avg > budget {
+		t.Errorf("%s: pooled execution averages %.0f allocs per scenario, budget %.0f", fam, avg, budget)
+	}
+}

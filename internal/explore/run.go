@@ -105,6 +105,13 @@ type Runner struct {
 	// the escape hatch — and the differential driver — while the incremental
 	// path is new.
 	Unincremental bool
+	// scratch, when non-nil (see Pooled), reuses one execution substrate —
+	// SUT instances, workload, service, timed adversary, crash map, network —
+	// across the runner's scenarios instead of allocating it per run.
+	scratch *runScratch
+	// stages, when non-nil, accumulates per-stage wall time and allocations
+	// (see StageStats); nil costs nothing on the hot path.
+	stages *stageRecorder
 }
 
 // safetyViolated evaluates the language's safety test on w. Languages whose
@@ -163,10 +170,7 @@ func (r Runner) Execute(s Spec) (*Outcome, error) {
 	}
 
 	fam := famOf(s.Lang)
-	crash := map[int][]int{}
-	for _, c := range s.Crashes {
-		crash[c.Step] = append(crash[c.Step], c.Proc)
-	}
+	crash := r.crashMap(s)
 
 	adv := adversary.NewA(s.N, lb.New())
 	var tau *adversary.Timed
@@ -186,12 +190,14 @@ func (r Runner) Execute(s Spec) (*Outcome, error) {
 		MaxSteps: s.Steps,
 		Crash:    crash,
 	}
+	mark := r.stages.start()
 	var res *monitor.Result
 	if r.Session != nil {
 		res = r.Session.Run(cfg)
 	} else {
 		res = monitor.Run(cfg)
 	}
+	r.stages.stop(FamLang, stageExecute, mark)
 
 	out := &Outcome{
 		Spec:    s,
@@ -205,7 +211,9 @@ func (r Runner) Execute(s Spec) (*Outcome, error) {
 	for p := range res.Verdicts {
 		out.Verdicts += len(res.Verdicts[p])
 	}
+	mark = r.stages.start()
 	r.runChecks(out, l, lb, fam, res, tau)
+	r.stages.stop(FamLang, stageCheck, mark)
 	out.Signature = signatureOf(out, res)
 	return out, nil
 }

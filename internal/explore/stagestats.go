@@ -1,0 +1,123 @@
+package explore
+
+// Per-stage profiling: an opt-in breakdown of where an exploration spends
+// its time and allocations, split by pipeline stage (generate the spec,
+// execute the scenario, monitor-check the verdict stream, oracle-check the
+// history) and by scenario family. Off by default — stage timing is
+// nondeterministic wall-clock, so default reports stay byte-identical across
+// runs and flags; drvexplore exposes it as -stage-stats.
+
+import (
+	"runtime"
+	"time"
+)
+
+// StageCost aggregates one pipeline stage's cost within one scenario family.
+type StageCost struct {
+	// Nanos is wall time summed over the stage's executions.
+	Nanos int64 `json:"nanos"`
+	// Allocs is the summed heap-allocation count. It is a process-global
+	// runtime.MemStats.Mallocs delta, so it is exact only at Workers <= 1;
+	// concurrent workers bleed into each other's deltas.
+	Allocs uint64 `json:"allocs"`
+	// Runs counts the measurements folded in.
+	Runs int `json:"runs"`
+}
+
+// add folds one measurement into the aggregate.
+func (c *StageCost) add(d StageCost) {
+	c.Nanos += d.Nanos
+	c.Allocs += d.Allocs
+	c.Runs += d.Runs
+}
+
+// StageBreakdown splits one family's cost across the pipeline stages.
+type StageBreakdown struct {
+	// Generate covers drawing or mutating the scenario spec.
+	Generate StageCost `json:"generate"`
+	// Execute covers the scheduled run: workload, SUT, Aτ, V_O, scheduler.
+	Execute StageCost `json:"execute"`
+	// Monitor covers judging the monitor's verdict stream against the offline
+	// oracle (sketch construction included).
+	Monitor StageCost `json:"monitor"`
+	// Check covers the offline history oracles and the brute differential.
+	Check StageCost `json:"check"`
+}
+
+// StageStats maps scenario-family names (FamLang, FamObj, FamMsg) to their
+// per-stage cost breakdowns.
+type StageStats map[string]*StageBreakdown
+
+// merge folds other into s.
+func (s StageStats) merge(other StageStats) {
+	for fam, b := range other {
+		dst := s[fam]
+		if dst == nil {
+			dst = &StageBreakdown{}
+			s[fam] = dst
+		}
+		dst.Generate.add(b.Generate)
+		dst.Execute.add(b.Execute)
+		dst.Monitor.add(b.Monitor)
+		dst.Check.add(b.Check)
+	}
+}
+
+// Stage names stop dispatches on.
+const (
+	stageGenerate = "generate"
+	stageExecute  = "execute"
+	stageMonitor  = "monitor"
+	stageCheck    = "check"
+)
+
+// stageRecorder accumulates StageStats for one worker (or for the sequential
+// generator loop). A nil recorder is a no-op, so the runner's hot path pays
+// nothing when profiling is off.
+type stageRecorder struct {
+	stats StageStats
+}
+
+func newStageRecorder() *stageRecorder { return &stageRecorder{stats: StageStats{}} }
+
+// stageMark is an in-flight measurement started by start.
+type stageMark struct {
+	at      time.Time
+	mallocs uint64
+}
+
+// start opens a measurement. ReadMemStats briefly stops the world, which is
+// why profiling is opt-in rather than always-on.
+func (t *stageRecorder) start() stageMark {
+	if t == nil {
+		return stageMark{}
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return stageMark{at: time.Now(), mallocs: ms.Mallocs}
+}
+
+// stop closes the measurement into the family's breakdown.
+func (t *stageRecorder) stop(fam, stage string, m stageMark) {
+	if t == nil {
+		return
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	b := t.stats[fam]
+	if b == nil {
+		b = &StageBreakdown{}
+		t.stats[fam] = b
+	}
+	d := StageCost{Nanos: time.Since(m.at).Nanoseconds(), Allocs: ms.Mallocs - m.mallocs, Runs: 1}
+	switch stage {
+	case stageGenerate:
+		b.Generate.add(d)
+	case stageExecute:
+		b.Execute.add(d)
+	case stageMonitor:
+		b.Monitor.add(d)
+	case stageCheck:
+		b.Check.add(d)
+	}
+}

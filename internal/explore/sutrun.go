@@ -196,20 +196,30 @@ const wlSalt = 0x3ead
 
 // executeObj runs one object-execution scenario: the implementation under a
 // seeded random workload, wrapped in Aτ, monitored by V_O, on the runner's
-// pooled session when it has one.
+// pooled session when it has one. With scratch the whole substrate — the
+// implementation instance (one live copy per object/impl pair, reset per
+// scenario), the workload, the service, Aτ — is reused instead of rebuilt;
+// the Reset contracts make the outcomes byte-identical.
 func (r Runner) executeObj(s Spec) (*Outcome, error) {
 	od, id, err := implByName(s.Object, s.Impl)
 	if err != nil {
 		return nil, err
 	}
-	crash := map[int][]int{}
-	for _, c := range s.Crashes {
-		crash[c.Step] = append(crash[c.Step], c.Proc)
-	}
+	crash := r.crashMap(s)
 
-	wl := sut.NewRandomWorkload(od.obj, s.N, s.OpsPerProc, s.MutBias, mix(s.Seed, wlSalt))
-	inner := sut.NewService(s.N, id.make(s.N), wl)
-	tau := adversary.NewTimed(s.N, inner, adversary.ArrayAtomic)
+	var inner adversary.Service
+	var tau *adversary.Timed
+	if sc := r.scratch; sc != nil {
+		impl := sc.objImpl(id, s)
+		sc.wl.Reset(od.obj, s.N, s.OpsPerProc, s.MutBias, mix(s.Seed, wlSalt))
+		sc.svc.Reset(s.N, impl, &sc.wl)
+		inner = &sc.svc
+		tau = sc.timed(s.N, inner)
+	} else {
+		wl := sut.NewRandomWorkload(od.obj, s.N, s.OpsPerProc, s.MutBias, mix(s.Seed, wlSalt))
+		inner = sut.NewService(s.N, id.make(s.N), wl)
+		tau = adversary.NewTimed(s.N, inner, adversary.ArrayAtomic)
+	}
 	m := monitor.NewLin(od.obj, tau, adversary.ArrayAtomic)
 	if r.Unincremental {
 		m = monitor.NewLinScratch(od.obj, tau, adversary.ArrayAtomic)
@@ -227,12 +237,14 @@ func (r Runner) executeObj(s Spec) (*Outcome, error) {
 		MaxSteps: s.Steps,
 		Crash:    crash,
 	}
+	mark := r.stages.start()
 	var res *monitor.Result
 	if r.Session != nil {
 		res = r.Session.Run(cfg)
 	} else {
 		res = monitor.Run(cfg)
 	}
+	r.stages.stop(FamObj, stageExecute, mark)
 
 	out := &Outcome{
 		Spec:    s,
@@ -245,7 +257,7 @@ func (r Runner) executeObj(s Spec) (*Outcome, error) {
 	for p := range res.Verdicts {
 		out.Verdicts += len(res.Verdicts[p])
 	}
-	runObjChecks(out, od, id, res, tau)
+	r.runObjChecks(out, od, id, res, tau)
 	out.Signature = objSignature(out, res)
 	return out, nil
 }
@@ -258,8 +270,8 @@ const bruteOpsCap = 7
 // runObjChecks evaluates the object family's differential checks, appending
 // divergences (guaranteed properties violated, checker disagreement, monitor
 // unsoundness) and oracle failures (planted bugs exposed) to the outcome.
-func runObjChecks(out *Outcome, od objDef, id implDef, res *monitor.Result, tau *adversary.Timed) {
-	runHistoryChecks(out, od.obj, od.safetyName, od.safety, id.lin, id.safe, false, res, tau)
+func (r Runner) runObjChecks(out *Outcome, od objDef, id implDef, res *monitor.Result, tau *adversary.Timed) {
+	r.runHistoryChecks(out, od.obj, od.safetyName, od.safety, id.lin, id.safe, false, res, tau)
 }
 
 // runHistoryChecks is the check battery shared by the object and
@@ -270,9 +282,10 @@ func runObjChecks(out *Outcome, od objDef, id implDef, res *monitor.Result, tau 
 // whose network schedule dropped messages; like a crash, a dropped message
 // can strand the violating operation pending, so it gates the completeness
 // half of the monitor check.
-func runHistoryChecks(out *Outcome, obj spec.Object, safetyName string, safety func(spec.Object, word.Word, []word.Operation) string, linOK, safeOK, lossy bool, res *monitor.Result, tau *adversary.Timed) {
+func (r Runner) runHistoryChecks(out *Outcome, obj spec.Object, safetyName string, safety func(spec.Object, word.Word, []word.Operation) string, linOK, safeOK, lossy bool, res *monitor.Result, tau *adversary.Timed) {
 	s := out.Spec
 	crashed := len(s.Crashes) > 0
+	mark := r.stages.start()
 
 	out.ran(CheckWellFormed)
 	if err := word.WellFormed(res.History); err != nil {
@@ -285,8 +298,27 @@ func runHistoryChecks(out *Outcome, obj spec.Object, safetyName string, safety f
 	}
 
 	ops := word.Operations(res.History)
-	lin := check.LinearizableOps(obj, ops)
-	violation := safety(obj, res.History, ops)
+	// The offline oracles borrow pooled incremental checkers when the runner
+	// has a session: the memoized witness search then reuses the memo table
+	// and key buffers grown by earlier scenarios instead of re-allocating
+	// them per run. The verdicts are identical on every path (the check
+	// package's differential tests pin CheckWord against the from-scratch
+	// searches), so report bytes do not depend on which one ran.
+	var lin bool
+	var violation string
+	if r.Session != nil && !r.Unincremental {
+		lin = r.Session.CheckPool().Get(obj, true, s.N).CheckWord(res.History)
+		if safetyName == OracleSC {
+			if !r.Session.CheckPool().Get(obj, false, s.N).CheckWord(res.History) {
+				violation = "history is not sequentially consistent"
+			}
+		} else {
+			violation = safety(obj, res.History, ops)
+		}
+	} else {
+		lin = check.LinearizableOps(obj, ops)
+		violation = safety(obj, res.History, ops)
+	}
 
 	out.ran(CheckOracle)
 	if !lin {
@@ -325,6 +357,8 @@ func runHistoryChecks(out *Outcome, obj spec.Object, safetyName string, safety f
 	} else {
 		out.skipped(CheckBrute)
 	}
+	r.stages.stop(s.Fam(), stageCheck, mark)
+	mark = r.stages.start()
 
 	// The monitor axis: V_O's verdict stream against the offline oracle,
 	// under the predictive escape of Definition 6.1 — the monitor answers
@@ -342,17 +376,29 @@ func runHistoryChecks(out *Outcome, obj spec.Object, safetyName string, safety f
 	switch {
 	case lin && res.TotalNO() > 0:
 		sk, err := res.Sketch(s.N, tau)
-		if err == nil && check.Linearizable(obj, sk) {
+		if err == nil && r.checkLin(obj, sk, s.N) {
 			out.diverge(CheckMonitorLin,
 				"history and sketch are both linearizable but %s reported %d NO verdict(s)", out.Monitor, res.TotalNO())
 		}
 	case !lin && !crashed && !lossy && res.Drained && res.TotalNO() == 0:
 		sk, err := res.Sketch(s.N, tau)
-		if err == nil && !check.Linearizable(obj, sk) {
+		if err == nil && !r.checkLin(obj, sk, s.N) {
 			out.diverge(CheckMonitorLin,
 				"history and sketch are both non-linearizable but no process ever reported NO")
 		}
 	}
+	r.stages.stop(s.Fam(), stageMonitor, mark)
+}
+
+// checkLin decides linearizability of w over n processes, borrowing the
+// session's pooled incremental checker when the runner has one — the verdict
+// is identical on both paths (pinned by the check package's differential
+// tests), only the scratch reuse differs.
+func (r Runner) checkLin(obj spec.Object, w word.Word, n int) bool {
+	if r.Session != nil && !r.Unincremental {
+		return r.Session.CheckPool().Get(obj, true, n).CheckWord(w)
+	}
+	return check.Linearizable(obj, w)
 }
 
 // bug records an oracle failure: a property violation the implementation

@@ -55,6 +55,11 @@ type Array[T any] interface {
 	Write(p *sched.Proc, i int, v T)
 	// Snapshot returns a copy of all cells.
 	Snapshot(p *sched.Proc) []T
+	// Reset restores the array to n cells all holding init, reusing the
+	// backing storage where capacity allows — the pooled-lifecycle hook that
+	// lets a system under test be re-deployed without reallocating its
+	// substrate.
+	Reset(n int, init T)
 }
 
 // AtomicArray implements Array with a one-step atomic snapshot.
@@ -64,11 +69,21 @@ type AtomicArray[T any] struct {
 
 // NewAtomicArray returns an n-cell atomic array, each cell holding init.
 func NewAtomicArray[T any](n int, init T) *AtomicArray[T] {
-	cells := make([]T, n)
-	for i := range cells {
-		cells[i] = init
+	a := &AtomicArray[T]{}
+	a.Reset(n, init)
+	return a
+}
+
+// Reset implements Array.
+func (a *AtomicArray[T]) Reset(n int, init T) {
+	if cap(a.cells) >= n {
+		a.cells = a.cells[:n]
+	} else {
+		a.cells = make([]T, n)
 	}
-	return &AtomicArray[T]{cells: cells}
+	for i := range a.cells {
+		a.cells[i] = init
+	}
 }
 
 // Len implements Array.
@@ -106,12 +121,12 @@ type CollectArray[T any] struct {
 // NewCollectArray returns an n-cell array whose Snapshot is a collect.
 func NewCollectArray[T any](n int, init T) *CollectArray[T] {
 	a := &CollectArray[T]{}
-	a.inner.cells = make([]T, n)
-	for i := range a.inner.cells {
-		a.inner.cells[i] = init
-	}
+	a.inner.Reset(n, init)
 	return a
 }
+
+// Reset implements Array.
+func (a *CollectArray[T]) Reset(n int, init T) { a.inner.Reset(n, init) }
 
 // Len implements Array.
 func (a *CollectArray[T]) Len() int { return a.inner.Len() }

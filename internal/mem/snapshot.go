@@ -21,6 +21,10 @@ import (
 // operation linearizable.
 type SnapshotArray[T any] struct {
 	cells []snapCell[T]
+	// initView is the shared all-init view every cell embeds after a Reset;
+	// cells replace it with freshly scanned views on their first update, so
+	// sharing (and reusing it across Resets) is safe.
+	initView []T
 }
 
 type snapCell[T any] struct {
@@ -32,16 +36,30 @@ type snapCell[T any] struct {
 // NewSnapshotArray returns an n-cell AADGMS snapshot object, each cell
 // holding init.
 func NewSnapshotArray[T any](n int, init T) *SnapshotArray[T] {
-	cells := make([]snapCell[T], n)
-	initView := make([]T, n)
-	for i := range cells {
-		cells[i].val = init
-		initView[i] = init
+	a := &SnapshotArray[T]{}
+	a.Reset(n, init)
+	return a
+}
+
+// Reset implements Array: n cells holding init with zeroed sequence numbers,
+// reusing the backing storage where capacity allows.
+func (a *SnapshotArray[T]) Reset(n int, init T) {
+	if cap(a.cells) >= n {
+		a.cells = a.cells[:n]
+	} else {
+		a.cells = make([]snapCell[T], n)
 	}
-	for i := range cells {
-		cells[i].view = initView
+	if cap(a.initView) >= n {
+		a.initView = a.initView[:n]
+	} else {
+		a.initView = make([]T, n)
 	}
-	return &SnapshotArray[T]{cells: cells}
+	for i := range a.initView {
+		a.initView[i] = init
+	}
+	for i := range a.cells {
+		a.cells[i] = snapCell[T]{val: init, view: a.initView}
+	}
 }
 
 // Len implements Array.

@@ -79,6 +79,20 @@ func (o *randomOrder) Pick(pending []Message, _ int) int {
 	return o.rng.Intn(len(pending))
 }
 
+// reseeder is the optional Order extension Net.Reset uses to re-arm a seeded
+// order in place instead of rebuilding it: rand.Rand.Seed restores exactly
+// the state a fresh rand.NewSource yields, so a reseeded order picks the same
+// delivery sequence as a fresh one.
+type reseeder interface{ reseed(seed int64) }
+
+func (o *randomOrder) reseed(seed int64) { o.rng.Seed(seed) }
+
+func (o *starveOrder) reseed(seed int64) {
+	if r, ok := o.inner.(reseeder); ok {
+		r.reseed(seed)
+	}
+}
+
 // StarveOrder starves one process: messages to the victim are delivered only
 // when nothing else is pending. It exercises protocol liveness under maximal
 // unfairness short of message loss.
@@ -111,15 +125,19 @@ func (o *starveOrder) Pick(pending []Message, step int) int {
 // Net is the network. All methods must be called from scheduler-controlled
 // goroutines (one runs at a time), so no further synchronization is needed.
 type Net struct {
-	n       int
-	order   Order
-	pending []Message
-	inboxes [][]Message
-	crashed []bool
-	drops   map[int]bool
-	sent    int
-	deliv   int
-	dropped int
+	n     int
+	order Order
+	// orderKind names the Schedule order the net was built from ("" when the
+	// order was passed directly to New); Schedule.Reset uses it to decide
+	// whether the order can be reseeded in place.
+	orderKind string
+	pending   []Message
+	inboxes   [][]Message
+	crashed   []bool
+	drops     map[int]bool
+	sent      int
+	deliv     int
+	dropped   int
 }
 
 // New builds a network for n processes with the given delivery order.
@@ -127,11 +145,34 @@ func New(n int, order Order) *Net {
 	if order == nil {
 		order = FIFOOrder()
 	}
-	return &Net{
-		n:       n,
-		order:   order,
-		inboxes: make([][]Message, n),
-		crashed: make([]bool, n),
+	nt := &Net{order: order}
+	nt.Reset(n, order)
+	return nt
+}
+
+// Reset restores the network to its freshly built state for n processes with
+// the given delivery order, reusing the inbox and pending buffers — the
+// pooled-lifecycle hook that lets emulations keep their *Net pointer across
+// scenarios. Passing the current order (e.g. after reseeding it in place)
+// keeps it.
+func (nt *Net) Reset(n int, order Order) {
+	if order == nil {
+		order = FIFOOrder()
+	}
+	nt.n, nt.order = n, order
+	nt.pending = nt.pending[:0]
+	nt.drops = nil
+	nt.sent, nt.deliv, nt.dropped = 0, 0, 0
+	if cap(nt.inboxes) >= n {
+		nt.inboxes = nt.inboxes[:n]
+		nt.crashed = nt.crashed[:n]
+	} else {
+		nt.inboxes = make([][]Message, n)
+		nt.crashed = make([]bool, n)
+	}
+	for i := 0; i < n; i++ {
+		nt.inboxes[i] = nt.inboxes[i][:0]
+		nt.crashed[i] = false
 	}
 }
 

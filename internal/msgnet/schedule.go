@@ -174,6 +174,37 @@ func (s Schedule) New(n int) (*Net, error) {
 		order = StarveOrder(0, RandomOrder(s.Seed))
 	}
 	nt := New(n, order)
+	nt.orderKind = s.Order
 	nt.SetDrops(s.Drops)
 	return nt, nil
+}
+
+// Reset re-arms an existing network for this schedule and n processes,
+// reusing its buffers — and, when the network's current order has the same
+// kind, the order object itself (seeded orders are reseeded in place, which
+// reproduces exactly the delivery sequence a fresh order yields). The pooled
+// counterpart of New.
+func (s Schedule) Reset(nt *Net, n int) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	order := nt.order
+	if nt.orderKind != s.Order {
+		switch s.Order {
+		case OrderFIFO:
+			order = FIFOOrder()
+		case OrderLIFO:
+			order = LIFOOrder()
+		case OrderRandom:
+			order = RandomOrder(s.Seed)
+		case OrderStarve:
+			order = StarveOrder(0, RandomOrder(s.Seed))
+		}
+	} else if r, ok := order.(reseeder); ok {
+		r.reseed(s.Seed)
+	}
+	nt.Reset(n, order)
+	nt.orderKind = s.Order
+	nt.SetDrops(s.Drops)
+	return nil
 }

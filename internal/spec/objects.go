@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math/rand"
 	"strconv"
-	"strings"
 
 	"github.com/drv-go/drv/internal/word"
 )
@@ -339,8 +338,11 @@ func (s vecState) Apply(op string, arg word.Value) (State, word.Value, bool) {
 	if op == OpScan {
 		return s, s.cells.Clone(), true
 	}
-	var i int
-	if _, err := fmt.Sscanf(op, "upd%d", &i); err != nil || i < 0 || i >= len(s.cells) {
+	if len(op) <= 3 || op[:3] != "upd" {
+		return s, nil, false
+	}
+	i, err := strconv.Atoi(op[3:])
+	if err != nil || i < 0 || i >= len(s.cells) {
 		return s, nil, false
 	}
 	v, ok := arg.(word.Int)
@@ -364,6 +366,11 @@ type queue struct{}
 
 func (queue) Name() string { return "queue" }
 func (queue) Init() State  { return queueState{} }
+
+// InternRoot implements spec.RootInterner: the returned root anchors a
+// private interned tree of queue states, so one checker's searches share
+// states across reconverging branches instead of re-encoding per visit.
+func (queue) InternRoot() State { return queueState{n: &queueNode{}} }
 func (queue) Ops() []OpSig {
 	return []OpSig{{Name: OpEnq, Mutating: true}, {Name: OpDeq, Mutating: true}}
 }
@@ -374,15 +381,66 @@ func (queue) RandArg(op string, rng *rand.Rand) word.Value {
 	return word.Unit{}
 }
 
+// queueState is a persistent queue in the ledState mould: nodes record the
+// enqueue/dequeue path and intern their children, so checker searches — which
+// re-apply every candidate operation at every visited node — share one node
+// per distinct reachable queue instead of building a fresh encoding string
+// (and fmt.Sscanf-decoding the head item) on every visit. The abstract state
+// is the remaining-item sequence; the key encodes exactly that, so paths that
+// reconverge on the same remaining items still hit the same memo entry.
 type queueState struct {
-	items string // canonical encoding: comma-joined decimal items
+	n *queueNode // nil = the never-touched empty queue
 }
 
-func (s queueState) Key() string { return "q" + s.items }
+type queueNode struct {
+	parent *queueNode
+	val    word.Int     // the item this node enqueued (enq nodes only)
+	enq    bool         // true: enqueued val; false: dequeued one (or the root)
+	enqs   int          // enqueues along the path
+	head   int          // dequeues along the path
+	kids   []*queueNode // interned enqueue children, one per distinct item
+	deq    *queueNode   // interned dequeue child
+}
 
-// AppendKey implements spec.KeyAppender with the Key encoding.
+// itemAt walks the path to the enqueue with index i (0-based). The walk is
+// bounded by the path length — paying a pointer chase per lookup instead of
+// materializing an item slice per node keeps the search's working set flat.
+func (n *queueNode) itemAt(i int) word.Int {
+	m := n
+	for !m.enq || m.enqs != i+1 {
+		m = m.parent
+	}
+	return m.val
+}
+
+// appendItems appends the comma-joined decimal items with enqueue index head
+// and above, in enqueue order, by recursing to the front of the path first.
+func (n *queueNode) appendItems(b []byte, head int) []byte {
+	m := n
+	for m != nil && !m.enq {
+		m = m.parent
+	}
+	if m == nil || m.enqs <= head {
+		return b
+	}
+	b = m.parent.appendItems(b, head)
+	if m.enqs-1 > head {
+		b = append(b, ',')
+	}
+	return strconv.AppendInt(b, int64(m.val), 10)
+}
+
+func (s queueState) Key() string { return string(s.AppendKey(nil)) }
+
+// AppendKey implements spec.KeyAppender: "q" plus the comma-joined decimal
+// encoding of the remaining items, byte-identical to the historical flat
+// string encoding.
 func (s queueState) AppendKey(b []byte) []byte {
-	return append(append(b, 'q'), s.items...)
+	b = append(b, 'q')
+	if s.n == nil {
+		return b
+	}
+	return s.n.appendItems(b, s.n.head)
 }
 
 func (s queueState) Apply(op string, arg word.Value) (State, word.Value, bool) {
@@ -392,19 +450,27 @@ func (s queueState) Apply(op string, arg word.Value) (State, word.Value, bool) {
 		if !ok {
 			return s, nil, false
 		}
-		enc := v.String()
-		if s.items != "" {
-			enc = s.items + "," + enc
+		if s.n != nil {
+			for _, k := range s.n.kids {
+				if k.val == v {
+					return queueState{n: k}, word.Unit{}, true
+				}
+			}
+			k := &queueNode{parent: s.n, val: v, enq: true, enqs: s.n.enqs + 1, head: s.n.head}
+			s.n.kids = append(s.n.kids, k)
+			return queueState{n: k}, word.Unit{}, true
 		}
-		return queueState{items: enc}, word.Unit{}, true
+		return queueState{n: &queueNode{val: v, enq: true, enqs: 1}}, word.Unit{}, true
 	case OpDeq:
-		if s.items == "" {
+		n := s.n
+		if n == nil || n.enqs == n.head {
 			return s, Empty, true
 		}
-		head, rest, _ := strings.Cut(s.items, ",")
-		var v word.Int
-		fmt.Sscanf(head, "%d", (*int64)(&v))
-		return queueState{items: rest}, v, true
+		v := n.itemAt(n.head)
+		if n.deq == nil {
+			n.deq = &queueNode{parent: n, enqs: n.enqs, head: n.head + 1}
+		}
+		return queueState{n: n.deq}, v, true
 	default:
 		return s, nil, false
 	}
@@ -420,6 +486,10 @@ type stack struct{}
 
 func (stack) Name() string { return "stack" }
 func (stack) Init() State  { return stackState{} }
+
+// InternRoot implements spec.RootInterner: the returned root anchors a
+// private interned tree of stack states, like Queue's.
+func (stack) InternRoot() State { return stackState{n: &stackNode{}} }
 func (stack) Ops() []OpSig {
 	return []OpSig{{Name: OpPush, Mutating: true}, {Name: OpPop, Mutating: true}}
 }
@@ -430,15 +500,41 @@ func (stack) RandArg(op string, rng *rand.Rand) word.Value {
 	return word.Unit{}
 }
 
+// stackState is a persistent stack: push interns a child node, pop walks back
+// to the parent — the exact ledState shape, since a stack *is* a ledger whose
+// get is destructive. Checker searches share one node per distinct reachable
+// stack instead of re-encoding strings per visit.
 type stackState struct {
-	items string
+	n *stackNode // nil = the never-touched empty stack
 }
 
-func (s stackState) Key() string { return "s" + s.items }
+type stackNode struct {
+	parent *stackNode
+	val    word.Int
+	depth  int          // pushed items along the path; 0 = an empty-stack anchor
+	kids   []*stackNode // interned push children, one per distinct item
+}
 
-// AppendKey implements spec.KeyAppender with the Key encoding.
+// appendItems appends the comma-joined decimal items bottom to top, recursing
+// to the bottom of the stack first.
+func (n *stackNode) appendItems(b []byte) []byte {
+	if n == nil || n.depth == 0 {
+		return b
+	}
+	b = n.parent.appendItems(b)
+	if n.depth > 1 {
+		b = append(b, ',')
+	}
+	return strconv.AppendInt(b, int64(n.val), 10)
+}
+
+func (s stackState) Key() string { return string(s.AppendKey(nil)) }
+
+// AppendKey implements spec.KeyAppender: "s" plus the comma-joined decimal
+// encoding of the items bottom to top, byte-identical to the historical flat
+// string encoding.
 func (s stackState) AppendKey(b []byte) []byte {
-	return append(append(b, 's'), s.items...)
+	return s.n.appendItems(append(b, 's'))
 }
 
 func (s stackState) Apply(op string, arg word.Value) (State, word.Value, bool) {
@@ -448,26 +544,22 @@ func (s stackState) Apply(op string, arg word.Value) (State, word.Value, bool) {
 		if !ok {
 			return s, nil, false
 		}
-		enc := v.String()
-		if s.items != "" {
-			enc = s.items + "," + enc
+		if s.n != nil {
+			for _, k := range s.n.kids {
+				if k.val == v {
+					return stackState{n: k}, word.Unit{}, true
+				}
+			}
+			k := &stackNode{parent: s.n, val: v, depth: s.n.depth + 1}
+			s.n.kids = append(s.n.kids, k)
+			return stackState{n: k}, word.Unit{}, true
 		}
-		return stackState{items: enc}, word.Unit{}, true
+		return stackState{n: &stackNode{val: v, depth: 1}}, word.Unit{}, true
 	case OpPop:
-		if s.items == "" {
+		if s.n == nil || s.n.depth == 0 {
 			return s, Empty, true
 		}
-		i := strings.LastIndexByte(s.items, ',')
-		var top string
-		var rest string
-		if i < 0 {
-			top, rest = s.items, ""
-		} else {
-			top, rest = s.items[i+1:], s.items[:i]
-		}
-		var v word.Int
-		fmt.Sscanf(top, "%d", (*int64)(&v))
-		return stackState{items: rest}, v, true
+		return stackState{n: s.n.parent}, s.n.val, true
 	default:
 		return s, nil, false
 	}

@@ -53,6 +53,10 @@ func newCounterArray(n int, kind CounterArray) mem.Array[int] {
 // Name implements Impl.
 func (c *SnapshotCounter) Name() string { return "counter/snapshot" }
 
+// Reset implements Impl: the backing array keeps its kind (it resets in
+// place), so an AADGMS counter stays AADGMS.
+func (c *SnapshotCounter) Reset(n int) { c.cells.Reset(n, 0) }
+
 // Invoke implements Impl.
 func (c *SnapshotCounter) Invoke(p *sched.Proc, op string, arg word.Value) word.Value {
 	switch op {
@@ -91,6 +95,9 @@ func NewCollectCounter(n int) *CollectCounter {
 
 // Name implements Impl.
 func (c *CollectCounter) Name() string { return "counter/collect" }
+
+// Reset implements Impl.
+func (c *CollectCounter) Reset(n int) { c.cells.Reset(n, 0) }
 
 // Invoke implements Impl.
 func (c *CollectCounter) Invoke(p *sched.Proc, op string, arg word.Value) word.Value {
@@ -137,6 +144,9 @@ func NewInflatedCounter(n, bias int) *InflatedCounter {
 // Name implements Impl.
 func (c *InflatedCounter) Name() string { return fmt.Sprintf("counter/inflated-%d", c.bias) }
 
+// Reset implements Impl: the bias (a construction parameter) survives.
+func (c *InflatedCounter) Reset(n int) { c.cells.Reset(n, 0) }
+
 // Invoke implements Impl.
 func (c *InflatedCounter) Invoke(p *sched.Proc, op string, arg word.Value) word.Value {
 	switch op {
@@ -177,6 +187,12 @@ func NewStuckCounter(n int) *StuckCounter {
 
 // Name implements Impl.
 func (c *StuckCounter) Name() string { return "counter/stuck" }
+
+// Reset implements Impl.
+func (c *StuckCounter) Reset(n int) {
+	c.cells.Reset(n, 0)
+	c.shadow = resetInts(c.shadow, n)
+}
 
 // Invoke implements Impl.
 func (c *StuckCounter) Invoke(p *sched.Proc, op string, arg word.Value) word.Value {

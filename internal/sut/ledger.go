@@ -24,6 +24,9 @@ func NewLockLedger() *LockLedger { return &LockLedger{} }
 // Name implements Impl.
 func (*LockLedger) Name() string { return "ledger/lock" }
 
+// Reset implements Impl.
+func (l *LockLedger) Reset(int) { *l = LockLedger{} }
+
 // Invoke implements Impl.
 func (l *LockLedger) Invoke(p *sched.Proc, op string, arg word.Value) word.Value {
 	switch op {
@@ -70,6 +73,21 @@ func NewSnapshotLedger(n int) *SnapshotLedger {
 
 // Name implements Impl.
 func (*SnapshotLedger) Name() string { return "ledger/snapshot" }
+
+// Reset implements Impl. Truncating the per-process logs in place is safe:
+// gets assemble their result into a fresh word.Seq, so no earlier history
+// aliases the log backing arrays.
+func (l *SnapshotLedger) Reset(n int) {
+	l.cells.Reset(n, 0)
+	if cap(l.logs) < n {
+		l.logs = make([][]word.Rec, n)
+		return
+	}
+	l.logs = l.logs[:n]
+	for i := range l.logs {
+		l.logs[i] = l.logs[i][:0]
+	}
+}
 
 // Invoke implements Impl.
 func (l *SnapshotLedger) Invoke(p *sched.Proc, op string, arg word.Value) word.Value {
@@ -120,6 +138,18 @@ func NewForkedLedger(n int) *ForkedLedger {
 // Name implements Impl.
 func (*ForkedLedger) Name() string { return "ledger/forked" }
 
+// Reset implements Impl.
+func (l *ForkedLedger) Reset(n int) {
+	if cap(l.replicas) < n {
+		l.replicas = make([]mem.Register[word.Seq], n)
+		return
+	}
+	l.replicas = l.replicas[:n]
+	for i := range l.replicas {
+		l.replicas[i] = mem.Register[word.Seq]{}
+	}
+}
+
 // Invoke implements Impl.
 func (l *ForkedLedger) Invoke(p *sched.Proc, op string, arg word.Value) word.Value {
 	switch op {
@@ -156,6 +186,13 @@ func NewLossyLedger(drop int) *LossyLedger {
 
 // Name implements Impl.
 func (l *LossyLedger) Name() string { return fmt.Sprintf("ledger/lossy-%d", l.drop) }
+
+// Reset implements Impl: the drop period (a construction parameter) survives,
+// the append counter and the wrapped ledger do not.
+func (l *LossyLedger) Reset(n int) {
+	l.appends = 0
+	l.inner.Reset(n)
+}
 
 // Invoke implements Impl.
 func (l *LossyLedger) Invoke(p *sched.Proc, op string, arg word.Value) word.Value {

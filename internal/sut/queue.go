@@ -24,6 +24,9 @@ func NewLockQueue() *LockQueue { return &LockQueue{} }
 // Name implements Impl.
 func (*LockQueue) Name() string { return "queue/lock" }
 
+// Reset implements Impl: an empty queue with a free lock.
+func (q *LockQueue) Reset(int) { *q = LockQueue{} }
+
 // Invoke implements Impl.
 func (q *LockQueue) Invoke(p *sched.Proc, op string, arg word.Value) word.Value {
 	switch op {
@@ -66,6 +69,9 @@ func NewLIFOQueue() *LIFOQueue { return &LIFOQueue{} }
 // Name implements Impl.
 func (*LIFOQueue) Name() string { return "queue/lifo-bug" }
 
+// Reset implements Impl.
+func (q *LIFOQueue) Reset(int) { *q = LIFOQueue{} }
+
 // Invoke implements Impl.
 func (q *LIFOQueue) Invoke(p *sched.Proc, op string, arg word.Value) word.Value {
 	switch op {
@@ -106,6 +112,9 @@ func NewLockStack() *LockStack { return &LockStack{} }
 
 // Name implements Impl.
 func (*LockStack) Name() string { return "stack/lock" }
+
+// Reset implements Impl.
+func (s *LockStack) Reset(int) { *s = LockStack{} }
 
 // Invoke implements Impl.
 func (s *LockStack) Invoke(p *sched.Proc, op string, arg word.Value) word.Value {
@@ -149,6 +158,9 @@ func NewFIFOStack() *FIFOStack { return &FIFOStack{} }
 
 // Name implements Impl.
 func (*FIFOStack) Name() string { return "stack/fifo-bug" }
+
+// Reset implements Impl.
+func (s *FIFOStack) Reset(int) { *s = FIFOStack{} }
 
 // Invoke implements Impl.
 func (s *FIFOStack) Invoke(p *sched.Proc, op string, arg word.Value) word.Value {

@@ -22,6 +22,9 @@ func NewAtomicRegister() *AtomicRegister { return &AtomicRegister{} }
 // Name implements Impl.
 func (*AtomicRegister) Name() string { return "register/atomic" }
 
+// Reset implements Impl.
+func (r *AtomicRegister) Reset(int) { r.cell = mem.Register[int64]{} }
+
 // Invoke implements Impl.
 func (r *AtomicRegister) Invoke(p *sched.Proc, op string, arg word.Value) word.Value {
 	switch op {
@@ -65,6 +68,39 @@ func NewStaleRegister(n, refresh int) *StaleRegister {
 // Name implements Impl.
 func (r *StaleRegister) Name() string { return fmt.Sprintf("register/stale-%d", r.refresh) }
 
+// Reset implements Impl: the refresh period (a construction parameter)
+// survives, the cell and the per-process caches do not.
+func (r *StaleRegister) Reset(n int) {
+	r.cell = mem.Register[int64]{}
+	r.cache = resetInt64s(r.cache, n)
+	r.reads = resetInts(r.reads, n)
+}
+
+// resetInts returns s resized to n zeroed entries, reusing its backing array
+// where capacity allows.
+func resetInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+// resetInt64s is resetInts for int64 slices.
+func resetInt64s(s []int64, n int) []int64 {
+	if cap(s) < n {
+		return make([]int64, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
 // Invoke implements Impl.
 func (r *StaleRegister) Invoke(p *sched.Proc, op string, arg word.Value) word.Value {
 	switch op {
@@ -107,6 +143,18 @@ func NewSplitRegister(n int) *SplitRegister {
 
 // Name implements Impl.
 func (*SplitRegister) Name() string { return "register/split" }
+
+// Reset implements Impl.
+func (r *SplitRegister) Reset(n int) {
+	if cap(r.replicas) < n {
+		r.replicas = make([]mem.Register[int64], n)
+		return
+	}
+	r.replicas = r.replicas[:n]
+	for i := range r.replicas {
+		r.replicas[i] = mem.Register[int64]{}
+	}
+}
 
 // Invoke implements Impl.
 func (r *SplitRegister) Invoke(p *sched.Proc, op string, arg word.Value) word.Value {

@@ -23,11 +23,21 @@ import (
 // operations, and returns the response value. Implementations must tolerate
 // arbitrary interleavings of concurrent Invoke calls by different processes;
 // the scheduler guarantees only one process runs between Pause points.
+//
+// Reset is the pooled-lifecycle contract: it must restore the implementation
+// to its freshly constructed state for n processes — same seeded-bug
+// parameters, empty shared state, zeroed per-process caches — reusing backing
+// storage where capacity allows. A reused instance must exhibit byte-identical
+// histories to a fresh one under the same schedule; the explorer leans on this
+// to run one instance per worker per object/impl pair instead of allocating
+// per scenario.
 type Impl interface {
 	// Name identifies the implementation in experiment reports.
 	Name() string
 	// Invoke runs op(arg) for process p and returns its response value.
 	Invoke(p *sched.Proc, op string, arg word.Value) word.Value
+	// Reset restores the freshly constructed state for n processes.
+	Reset(n int)
 }
 
 // Workload decides the invocations each monitor process sends, resolving
@@ -59,12 +69,27 @@ var _ adversary.Service = (*Service)(nil)
 
 // NewService wires an implementation and a workload for n processes.
 func NewService(n int, impl Impl, wl Workload) *Service {
-	return &Service{
-		n:       n,
-		impl:    impl,
-		wl:      wl,
-		pending: make([]word.Symbol, n),
-		opCount: make([]int, n),
+	s := &Service{}
+	s.Reset(n, impl, wl)
+	return s
+}
+
+// Reset rewires the service for n processes around impl and wl, truncating
+// the history and reusing the per-process buffers. Safe because History()
+// clones: outcomes of earlier runs never alias the recycled backing arrays.
+func (s *Service) Reset(n int, impl Impl, wl Workload) {
+	s.n, s.impl, s.wl = n, impl, wl
+	s.history = s.history[:0]
+	if cap(s.pending) >= n {
+		s.pending = s.pending[:n]
+		s.opCount = s.opCount[:n]
+	} else {
+		s.pending = make([]word.Symbol, n)
+		s.opCount = make([]int, n)
+	}
+	for i := 0; i < n; i++ {
+		s.pending[i] = word.Symbol{}
+		s.opCount[i] = 0
 	}
 }
 

@@ -12,28 +12,53 @@ import (
 // come from the object's RandArg with a per-process generator, so workloads
 // replay deterministically per (seed, process).
 type RandomWorkload struct {
-	obj    spec.Object
-	ops    []spec.OpSig
-	bias   float64
-	budget []int
-	rngs   []*rand.Rand
+	obj      spec.Object
+	bias     float64
+	mutating []spec.OpSig
+	reading  []spec.OpSig
+	budget   []int
+	rngs     []*rand.Rand
 }
 
 // NewRandomWorkload builds a workload of opsPerProc operations per process
 // with the given mutate bias in [0,1].
 func NewRandomWorkload(obj spec.Object, n, opsPerProc int, bias float64, seed int64) *RandomWorkload {
-	w := &RandomWorkload{
-		obj:    obj,
-		ops:    obj.Ops(),
-		bias:   bias,
-		budget: make([]int, n),
-		rngs:   make([]*rand.Rand, n),
+	w := &RandomWorkload{}
+	w.Reset(obj, n, opsPerProc, bias, seed)
+	return w
+}
+
+// Reset re-arms the workload for another run, reusing the budget and
+// signature buffers and re-seeding the per-process generators in place —
+// rand.Rand.Seed restores exactly the state a fresh rand.NewSource would
+// start from, so a reset workload draws the same operation stream as a fresh
+// one with the same parameters.
+func (w *RandomWorkload) Reset(obj spec.Object, n, opsPerProc int, bias float64, seed int64) {
+	if w.obj == nil || w.obj.Name() != obj.Name() {
+		w.mutating, w.reading = w.mutating[:0], w.reading[:0]
+		for _, sig := range obj.Ops() {
+			if sig.Mutating {
+				w.mutating = append(w.mutating, sig)
+			} else {
+				w.reading = append(w.reading, sig)
+			}
+		}
+	}
+	w.obj, w.bias = obj, bias
+	if cap(w.budget) >= n {
+		w.budget = w.budget[:n]
+	} else {
+		w.budget = make([]int, n)
 	}
 	for i := 0; i < n; i++ {
 		w.budget[i] = opsPerProc
-		w.rngs[i] = rand.New(rand.NewSource(seed + int64(i)*7919))
 	}
-	return w
+	for i := 0; i < n && i < len(w.rngs); i++ {
+		w.rngs[i].Seed(seed + int64(i)*7919)
+	}
+	for i := len(w.rngs); i < n; i++ {
+		w.rngs = append(w.rngs, rand.New(rand.NewSource(seed+int64(i)*7919)))
+	}
 }
 
 // Next implements Workload.
@@ -43,17 +68,9 @@ func (w *RandomWorkload) Next(id int) (string, word.Value, bool) {
 	}
 	w.budget[id]--
 	rng := w.rngs[id]
-	var mutating, reading []spec.OpSig
-	for _, sig := range w.ops {
-		if sig.Mutating {
-			mutating = append(mutating, sig)
-		} else {
-			reading = append(reading, sig)
-		}
-	}
-	pool := reading
-	if len(mutating) > 0 && (len(reading) == 0 || rng.Float64() < w.bias) {
-		pool = mutating
+	pool := w.reading
+	if len(w.mutating) > 0 && (len(w.reading) == 0 || rng.Float64() < w.bias) {
+		pool = w.mutating
 	}
 	sig := pool[rng.Intn(len(pool))]
 	arg := w.obj.RandArg(sig.Name, rng)
