@@ -17,11 +17,9 @@ import (
 	"io"
 	"os"
 
+	"github.com/drv-go/drv/exp/trace"
 	"github.com/drv-go/drv/internal/check"
 	"github.com/drv-go/drv/internal/lang"
-	"github.com/drv-go/drv/internal/spec"
-	"github.com/drv-go/drv/internal/trace"
-	"github.com/drv-go/drv/internal/word"
 )
 
 func main() {
@@ -94,14 +92,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 }
 
 // printDiagnostics runs the language-specific extra checkers.
-func printDiagnostics(stdout io.Writer, name string, w word.Word) {
+func printDiagnostics(stdout io.Writer, name string, w trace.Word) {
 	switch name {
 	case "LIN_REG", "SC_REG":
-		fmt.Fprintf(stdout, "linearizable (register): %v\n", check.Linearizable(spec.Register(), w))
-		fmt.Fprintf(stdout, "seq. consistent (register): %v\n", check.SeqConsistent(spec.Register(), w))
+		fmt.Fprintf(stdout, "linearizable (register): %v\n", check.Linearizable(trace.Register(), w))
+		fmt.Fprintf(stdout, "seq. consistent (register): %v\n", check.SeqConsistent(trace.Register(), w))
 	case "LIN_LED", "SC_LED":
-		fmt.Fprintf(stdout, "linearizable (ledger): %v\n", check.Linearizable(spec.Ledger(), w))
-		fmt.Fprintf(stdout, "seq. consistent (ledger): %v\n", check.SeqConsistent(spec.Ledger(), w))
+		fmt.Fprintf(stdout, "linearizable (ledger): %v\n", check.Linearizable(trace.Ledger(), w))
+		fmt.Fprintf(stdout, "seq. consistent (ledger): %v\n", check.SeqConsistent(trace.Ledger(), w))
 	case "EC_LED":
 		if v := check.ECLedgerSafety(w); v != nil {
 			fmt.Fprintf(stdout, "EC ordering clause: violated (%v)\n", v)

@@ -16,12 +16,12 @@ import (
 	"io"
 	"os"
 
+	"github.com/drv-go/drv/exp/trace"
 	"github.com/drv-go/drv/internal/adversary"
 	"github.com/drv-go/drv/internal/lang"
 	"github.com/drv-go/drv/internal/monitor"
 	"github.com/drv-go/drv/internal/sched"
 	"github.com/drv-go/drv/internal/sketch"
-	"github.com/drv-go/drv/internal/spec"
 )
 
 func main() {
@@ -73,7 +73,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	tau := adversary.NewTimed(*n, adv, kind)
 	res := monitor.Run(monitor.Config{
 		N:       *n,
-		Monitor: monitor.NewLin(spec.Register(), tau, kind),
+		Monitor: monitor.NewLin(trace.Register(), tau, kind),
 		NewService: func(rt *sched.Runtime) (adversary.Service, []int) {
 			return tau, []int{adv.Register(rt)}
 		},
@@ -83,7 +83,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		MaxSteps: *steps,
 	})
 
-	sk, err := res.Sketch(*n, tau)
+	sk, err := res.Sketch(*n, tau.InvAt)
 	if err != nil {
 		fmt.Fprintf(stderr, "sketch reconstruction: %v\n", err)
 		if kind == adversary.ArrayCollect {

@@ -63,10 +63,19 @@
 //     signatures gain a network axis, and its corpus lives under
 //     testdata/corpus-msg.
 //
+// The stable core of the word/spec/trace/monitor stack is exported under
+// exp/trace and exp/monitor (experimental, no compatibility promise — see
+// exp/README.md): external programs wrap a monitor.Recorder around their
+// own concurrent data structures and replay the recorded history through
+// the paper's monitors. The internal packages alias the exported
+// definitions, so there is exactly one implementation; the exported API is
+// locked by exp/testdata/api.golden.
+//
 // The cmd directory holds the reproduction tools (drvtable, drvtrace,
-// drvmon, drvsketch, drvexplore); examples holds five runnable
-// walkthroughs. The root bench and test files regenerate every table and
-// figure of the paper.
+// drvmon, drvsketch, drvexplore); examples holds six runnable walkthroughs,
+// including examples/extsut, an outside consumer that monitors queues of
+// its own using only the exp surface. The root bench and test files
+// regenerate every table and figure of the paper.
 //
 // Table 1 runs on a parallel experiment engine (internal/experiment.Run):
 // the table decomposes into independent units — one per (cell, seed,

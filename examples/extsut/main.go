@@ -1,0 +1,219 @@
+// Command extsut demonstrates the embed-your-own-SUT workflow of the
+// exported exp packages: it defines two concurrent queues of its own — a
+// channel-based one and a deliberately buggy mutex-based one, neither of
+// which exists anywhere in the drv module — wraps a monitor.Recorder around
+// their operations, and replays the recorded histories through the Figure-8
+// predictive linearizability monitor, printing the verdict streams.
+//
+// The program imports only the exported exp/... surface; it compiles and
+// behaves identically as an outside consumer of the module. Its output is
+// byte-deterministic for a given seed: the workload is a seeded
+// interleaving of logical processes, and replay is deterministic by
+// construction.
+//
+// Usage:
+//
+//	extsut [-procs 3] [-seed 1] [-steps 60]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"sync"
+
+	"github.com/drv-go/drv/exp/monitor"
+	"github.com/drv-go/drv/exp/trace"
+)
+
+// chanQueue is this program's own FIFO queue, built on a buffered channel.
+type chanQueue struct {
+	ch chan int64
+}
+
+func newChanQueue(capacity int) *chanQueue { return &chanQueue{ch: make(chan int64, capacity)} }
+
+func (q *chanQueue) Enq(v int64) { q.ch <- v }
+
+// Deq is non-blocking: it reports ok=false on an empty queue.
+func (q *chanQueue) Deq() (int64, bool) {
+	select {
+	case v := <-q.ch:
+		return v, true
+	default:
+		return 0, false
+	}
+}
+
+// staleQueue is a mutex-based queue with a seeded bug: Deq reads the head
+// when the operation starts but only removes an element when it completes,
+// so two overlapping dequeues can deliver the same value.
+type staleQueue struct {
+	mu    sync.Mutex
+	items []int64
+}
+
+func (q *staleQueue) Enq(v int64) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.items = append(q.items, v)
+}
+
+// Peek reads the head without removing it (the stale capture).
+func (q *staleQueue) Peek() (int64, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.items) == 0 {
+		return 0, false
+	}
+	return q.items[0], true
+}
+
+// Pop removes the head, discarding it.
+func (q *staleQueue) Pop() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.items) > 0 {
+		q.items = q.items[1:]
+	}
+}
+
+// workload starts operations for logical processes; begin returns the
+// invocation (op name, argument) and a completion closure executed when the
+// operation responds — the window between the two is where operations of
+// different processes overlap.
+type workload interface {
+	name() string
+	begin(p int, rng *rand.Rand, next func() int64) (op string, arg trace.Value, complete func() trace.Value)
+}
+
+type chanWorkload struct{ q *chanQueue }
+
+func (w chanWorkload) name() string { return "channel queue" }
+
+func (w chanWorkload) begin(p int, rng *rand.Rand, next func() int64) (string, trace.Value, func() trace.Value) {
+	if rng.Intn(2) == 0 {
+		v := next()
+		return "enq", trace.Int(v), func() trace.Value {
+			w.q.Enq(v)
+			return trace.Unit{}
+		}
+	}
+	return "deq", nil, func() trace.Value {
+		v, ok := w.q.Deq()
+		if !ok {
+			return trace.Empty
+		}
+		return trace.Int(v)
+	}
+}
+
+type staleWorkload struct{ q *staleQueue }
+
+func (w staleWorkload) name() string { return "stale-deq queue (seeded bug)" }
+
+func (w staleWorkload) begin(p int, rng *rand.Rand, next func() int64) (string, trace.Value, func() trace.Value) {
+	if rng.Intn(2) == 0 {
+		v := next()
+		return "enq", trace.Int(v), func() trace.Value {
+			w.q.Enq(v)
+			return trace.Unit{}
+		}
+	}
+	// The bug: the returned value is captured at invocation time, the
+	// removal happens at response time.
+	stale, ok := w.q.Peek()
+	return "deq", nil, func() trace.Value {
+		if !ok {
+			return trace.Empty
+		}
+		w.q.Pop()
+		return trace.Int(stale)
+	}
+}
+
+// record drives a seeded interleaving of procs logical processes over the
+// workload and returns the recorded history. Each scheduler pick either
+// starts an operation on an idle process or completes the pending one, so
+// operations overlap across processes while the recording stays
+// deterministic for a given seed.
+func record(w workload, procs, steps int, seed int64) trace.Word {
+	rec := monitor.NewRecorder(procs)
+	rng := rand.New(rand.NewSource(seed))
+	counter := int64(0)
+	next := func() int64 { counter++; return counter }
+	pending := make([]func() trace.Value, procs)
+	for i := 0; i < steps; i++ {
+		p := rng.Intn(procs)
+		if pending[p] == nil {
+			op, arg, complete := w.begin(p, rng, next)
+			rec.Invoke(p, op, arg)
+			pending[p] = complete
+		} else {
+			rec.Respond(p, pending[p]())
+			pending[p] = nil
+		}
+	}
+	for p := 0; p < procs; p++ { // drain in-flight operations
+		if pending[p] != nil {
+			rec.Respond(p, pending[p]())
+			pending[p] = nil
+		}
+	}
+	return rec.History()
+}
+
+func report(out io.Writer, s *monitor.Session, w workload, procs, steps int, seed int64) error {
+	h := record(w, procs, steps, seed)
+	fmt.Fprintf(out, "SUT: %s — %d procs, %d scheduler picks, seed %d\n", w.name(), procs, steps, seed)
+	fmt.Fprintf(out, "recorded history (%d events): %s\n", len(h), h)
+
+	res, err := s.Run(monitor.Config{
+		N:       procs,
+		Object:  trace.Queue(),
+		Logic:   monitor.LogicLin,
+		History: h,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "verdict stream:")
+	for p := range res.Verdicts {
+		fmt.Fprintf(out, "  p%d:", p)
+		for _, v := range res.Verdicts[p] {
+			fmt.Fprintf(out, " %s", v)
+		}
+		fmt.Fprintln(out)
+	}
+	fmt.Fprintf(out, "NO reports: %d\n", res.TotalNO())
+
+	lin, err := monitor.Linearizable(trace.Queue(), h)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "offline oracle says linearizable: %v\n", lin)
+	return nil
+}
+
+func run(out io.Writer, procs, steps int, seed int64) error {
+	s := monitor.NewSession()
+	defer s.Close()
+	if err := report(out, s, chanWorkload{q: newChanQueue(procs * steps)}, procs, steps, seed); err != nil {
+		return err
+	}
+	fmt.Fprintln(out)
+	return report(out, s, staleWorkload{q: &staleQueue{}}, procs, steps, seed)
+}
+
+func main() {
+	procs := flag.Int("procs", 3, "logical processes")
+	steps := flag.Int("steps", 60, "scheduler picks in the recorded workload")
+	seed := flag.Int64("seed", 1, "workload seed")
+	flag.Parse()
+	if err := run(os.Stdout, *procs, *steps, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "extsut:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden verdict stream")
+
+// TestGoldenVerdictStream pins the acceptance contract: the demo's verdict
+// stream is byte-deterministic for a given seed.
+func TestGoldenVerdictStream(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, 3, 60, 1); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	golden := filepath.Join("testdata", "verdicts.golden")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("output drifted from %s (rerun with -update if intended):\n--- got ---\n%s\n--- want ---\n%s",
+			golden, buf.Bytes(), want)
+	}
+
+	// A second run in the same process must be byte-identical too.
+	var again bytes.Buffer
+	if err := run(&again, 3, 60, 1); err != nil {
+		t.Fatalf("second run: %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Fatal("two runs with the same seed diverged")
+	}
+}
+
+// TestOnlyExpImports enforces the outside-consumer property: this program
+// may import only the standard library and the exported exp/... packages —
+// never internal/... (which the Go toolchain would reject for a real
+// external module anyway; this test keeps it honest in-repo).
+func TestOnlyExpImports(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "main.go", nil, parser.ImportsOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, imp := range f.Imports {
+		path, err := strconv.Unquote(imp.Path.Value)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(path, ".") {
+			continue // standard library
+		}
+		if !strings.HasPrefix(path, "github.com/drv-go/drv/exp/") {
+			t.Errorf("import %q is neither std nor exp/...; extsut must consume only the exported surface", path)
+		}
+	}
+}

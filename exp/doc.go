@@ -1,0 +1,10 @@
+// Package exp is the root of the exported experimental surface of the drv
+// module; see README.md in this directory. The packages below it —
+// exp/trace (histories, specifications, verdicts, wire format) and
+// exp/monitor (the monitors, the replay Session, the Recorder
+// instrumentation adapter) — carry no compatibility promise.
+//
+// The package itself holds no code: it exists to anchor the API-surface
+// lock test, which fails when the exported exp/... API drifts from the
+// committed golden dump.
+package exp

@@ -1,0 +1,38 @@
+// Package monitor exports the distributed monitors of the paper for external
+// embedders: the Figure-8 predictive linearizability monitor V_O and its
+// sequential-consistency variant, the Figure-5 weak decider for WEC_COUNT,
+// the Figure-9 predictive-weak decider for SEC_COUNT, and the best-effort
+// eventually-consistent-ledger monitor — attached to a recorded history of
+// any concurrent object, including ones defined outside this module.
+//
+// WARNING: this package is experimental and carries no compatibility
+// promise; see the README in the exp directory.
+//
+// # Embedding workflow
+//
+// Wrap a Recorder around your own concurrent data structure: call Invoke
+// before each operation starts and Respond when it returns, from any
+// goroutine. The Recorder serializes those events into a well-formed
+// concurrent history (a trace.Word). Then replay the history through the
+// monitor of your choice:
+//
+//	rec := monitor.NewRecorder(3)
+//	// ... instrumented workload runs concurrently ...
+//	res, err := monitor.Run(monitor.Config{
+//		N:       3,
+//		Object:  trace.Queue(),
+//		Logic:   monitor.LogicLin,
+//		History: rec.History(),
+//	})
+//
+// The replay drives the paper's machinery end to end: a word-cursor
+// adversary (Claim 3.1) exhibits exactly the recorded history, the timed
+// adversary Aτ (Figure 6) attaches views to responses, and N monitor
+// processes run the generic algorithm of Figure 1, reporting the verdict
+// stream collected in the Result. Replay is deterministic: the same history
+// yields a byte-identical Result.
+//
+// Workloads monitoring many histories should hold a Session and reuse it —
+// the session pools the scheduler runtime and checker state, making the
+// steady state allocation-free.
+package monitor

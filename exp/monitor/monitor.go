@@ -1,0 +1,239 @@
+package monitor
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/drv-go/drv/exp/trace"
+	"github.com/drv-go/drv/internal/adversary"
+	"github.com/drv-go/drv/internal/check"
+	imonitor "github.com/drv-go/drv/internal/monitor"
+	"github.com/drv-go/drv/internal/sched"
+)
+
+// Verdict is a value a monitor process reports in Line 06 of the generic
+// algorithm (Figure 1).
+type Verdict = trace.Verdict
+
+const (
+	// Yes reports the behaviour is (still) considered correct.
+	Yes = trace.Yes
+	// No reports a violation.
+	No = trace.No
+	// Maybe reports insufficient information (three-valued monitors, §7).
+	Maybe = trace.Maybe
+)
+
+// Result is the outcome of a monitored execution: the exhibited history, the
+// per-process verdict streams, and the alignment indices relating each
+// verdict to the history prefix it judged.
+type Result = trace.Result
+
+// Object is a sequential object specification; see the exp/trace package for
+// the provided objects (Register, Counter, Queue, Stack, Ledger, …) and the
+// interfaces custom objects implement.
+type Object = trace.Object
+
+// DefaultMaxSteps bounds an execution when Config.MaxSteps is unset (≤ 0).
+// It is far above what any recorded history of reasonable size needs; runs
+// normally end when the history is fully replayed.
+const DefaultMaxSteps = imonitor.DefaultMaxSteps
+
+// Logic selects which of the paper's monitors judges the history.
+type Logic uint8
+
+const (
+	// LogicLin is the Figure-8 predictive linearizability monitor V_O; it
+	// requires Config.Object.
+	LogicLin Logic = iota + 1
+	// LogicSC is V_O's sequential-consistency variant (Section 6.2); it
+	// requires Config.Object.
+	LogicSC
+	// LogicWEC is the Figure-5 weak decider for WEC_COUNT (counter
+	// histories: inc/read operations).
+	LogicWEC
+	// LogicSEC is the Figure-9 predictive-weak decider for SEC_COUNT
+	// (counter histories).
+	LogicSEC
+	// LogicECLedger is the best-effort eventually-consistent-ledger monitor
+	// (ledger histories: append/get operations). EC_LED is not predictively
+	// weakly decidable (Theorem 7.2); the monitor exists to exhibit that
+	// impossibility.
+	LogicECLedger
+)
+
+// String names the logic.
+func (l Logic) String() string {
+	switch l {
+	case LogicLin:
+		return "lin"
+	case LogicSC:
+		return "sc"
+	case LogicWEC:
+		return "wec"
+	case LogicSEC:
+		return "sec"
+	case LogicECLedger:
+		return "ecledger"
+	default:
+		return fmt.Sprintf("logic(%d)", uint8(l))
+	}
+}
+
+// Array selects the shared announcement-array implementation the timed
+// adversary Aτ uses to build views (Section 6.1).
+type Array uint8
+
+const (
+	// ArrayAtomic uses the model's one-step atomic snapshot; views are
+	// totally ordered by containment. The zero Config value defaults here.
+	ArrayAtomic Array = iota + 1
+	// ArrayAADGMS uses the wait-free read/write snapshot protocol.
+	ArrayAADGMS
+	// ArrayCollect uses a plain collect; views may become incomparable, in
+	// which case sketch reconstruction fails (the Section 6.2 caveat).
+	ArrayCollect
+)
+
+func (a Array) kind() (adversary.ArrayKind, error) {
+	switch a {
+	case 0, ArrayAtomic:
+		return adversary.ArrayAtomic, nil
+	case ArrayAADGMS:
+		return adversary.ArrayAADGMS, nil
+	case ArrayCollect:
+		return adversary.ArrayCollect, nil
+	default:
+		return 0, fmt.Errorf("monitor: unknown array kind %d", uint8(a))
+	}
+}
+
+// Config describes one monitored replay of a recorded history.
+type Config struct {
+	// N is the number of monitor processes; it must cover every process
+	// mentioned in History.
+	N int
+	// Object is the sequential specification the history is judged against.
+	// Required for LogicLin and LogicSC; ignored by the counter and ledger
+	// logics, whose specifications are fixed.
+	Object Object
+	// Logic selects the monitor.
+	Logic Logic
+	// History is the recorded well-formed concurrent history to replay
+	// (typically Recorder.History()).
+	History trace.Word
+	// Array selects Aτ's announcement array; zero means ArrayAtomic.
+	Array Array
+	// MaxSteps bounds the scheduler; ≤ 0 means DefaultMaxSteps.
+	MaxSteps int
+}
+
+func (cfg *Config) validate() (adversary.ArrayKind, error) {
+	if cfg.N < 1 {
+		return 0, fmt.Errorf("monitor: N must be ≥ 1, got %d", cfg.N)
+	}
+	kind, err := cfg.Array.kind()
+	if err != nil {
+		return 0, err
+	}
+	switch cfg.Logic {
+	case LogicLin, LogicSC:
+		if cfg.Object == nil {
+			return 0, fmt.Errorf("monitor: logic %v requires an Object", cfg.Logic)
+		}
+	case LogicWEC, LogicSEC, LogicECLedger:
+	default:
+		return 0, fmt.Errorf("monitor: unknown logic %d", uint8(cfg.Logic))
+	}
+	if err := trace.WellFormed(cfg.History); err != nil {
+		return 0, fmt.Errorf("monitor: %w", err)
+	}
+	if p := cfg.History.Procs(); p > cfg.N {
+		return 0, fmt.Errorf("monitor: history mentions %d processes but N is %d", p, cfg.N)
+	}
+	return kind, nil
+}
+
+// Session replays histories through pooled monitor machinery: the scheduler
+// runtime, checker state, and result buffers are reused across Run calls, so
+// the steady state of a long-lived monitoring loop is allocation-free. A
+// Session is not safe for concurrent use; use one per goroutine.
+type Session struct {
+	s *imonitor.Session
+}
+
+// NewSession returns an empty session; resources are allocated lazily on
+// first Run and recycled afterwards.
+func NewSession() *Session { return &Session{s: imonitor.NewSession()} }
+
+// Close releases the pooled resources. The session may be reused after
+// Close; it just loses its warm state.
+func (s *Session) Close() { s.s.Close() }
+
+// Run replays cfg.History through the selected monitor and returns the
+// verdict stream. The replay is deterministic: the word-cursor adversary
+// exhibits exactly the recorded history (Claim 3.1), so the same Config
+// yields a byte-identical Result. The returned Result is owned by the
+// session and overwritten by the next Run; callers that keep it across runs
+// must copy what they need.
+func (s *Session) Run(cfg Config) (*Result, error) {
+	kind, err := cfg.validate()
+	if err != nil {
+		return nil, err
+	}
+	adv := adversary.NewA(cfg.N, adversary.NewScriptSource(cfg.History))
+	tau := adversary.NewTimed(cfg.N, adv, kind)
+	var m imonitor.Monitor
+	switch cfg.Logic {
+	case LogicLin:
+		m = imonitor.NewLin(cfg.Object, tau, kind)
+	case LogicSC:
+		m = imonitor.NewSC(cfg.Object, tau, kind)
+	case LogicWEC:
+		m = imonitor.NewWEC(kind)
+	case LogicSEC:
+		m = imonitor.NewSEC(tau, kind)
+	case LogicECLedger:
+		m = imonitor.NewECLed(kind)
+	}
+	res := s.s.Run(imonitor.Config{
+		N:       cfg.N,
+		Monitor: m,
+		NewService: func(rt *sched.Runtime) (adversary.Service, []int) {
+			return tau, []int{adv.Register(rt)}
+		},
+		MaxSteps: cfg.MaxSteps,
+	})
+	return res, nil
+}
+
+// Run replays one history through a dedicated one-shot Session. Workloads
+// monitoring many histories should hold a Session and reuse it instead.
+func Run(cfg Config) (*Result, error) {
+	s := NewSession()
+	defer s.Close()
+	return s.Run(cfg)
+}
+
+// errNotWellFormed wraps offline-check input errors.
+var errNotWellFormed = errors.New("monitor: history is not well-formed")
+
+// Linearizable reports whether the history is linearizable with respect to
+// the object — the offline ground-truth oracle (a Wing–Gill search), as
+// opposed to the online verdict stream of LogicLin.
+func Linearizable(obj Object, h trace.Word) (bool, error) {
+	if err := trace.WellFormed(h); err != nil {
+		return false, fmt.Errorf("%w: %v", errNotWellFormed, err)
+	}
+	return check.Linearizable(obj, h), nil
+}
+
+// SeqConsistent reports whether the history is sequentially consistent with
+// respect to the object — the offline ground-truth oracle, as opposed to the
+// online verdict stream of LogicSC.
+func SeqConsistent(obj Object, h trace.Word) (bool, error) {
+	if err := trace.WellFormed(h); err != nil {
+		return false, fmt.Errorf("%w: %v", errNotWellFormed, err)
+	}
+	return check.SeqConsistent(obj, h), nil
+}

@@ -1,0 +1,238 @@
+package monitor_test
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/drv-go/drv/exp/monitor"
+	"github.com/drv-go/drv/exp/trace"
+)
+
+// queueHistory is a small well-formed concurrent queue history: two
+// overlapping enqueues and a dequeue observing the first.
+func queueHistory() trace.Word {
+	return trace.NewB().
+		Inv(0, "enq", trace.Int(1)).
+		Inv(1, "enq", trace.Int(2)).
+		Res(0, "enq", trace.Unit{}).
+		Res(1, "enq", trace.Unit{}).
+		Op(2, "deq", nil, trace.Int(1)).
+		Word()
+}
+
+// counterHistory exercises the counter logics: an inc overlapping two reads.
+func counterHistory() trace.Word {
+	return trace.NewB().
+		Inv(0, "inc", nil).
+		Op(1, "read", nil, trace.Int(0)).
+		Res(0, "inc", trace.Unit{}).
+		Op(1, "read", nil, trace.Int(1)).
+		Word()
+}
+
+// ledgerHistory exercises the ledger logic: an append and a get.
+func ledgerHistory() trace.Word {
+	return trace.NewB().
+		Op(0, "append", trace.Rec("a"), trace.Unit{}).
+		Op(1, "get", nil, trace.Seq{"a"}).
+		Word()
+}
+
+func TestRunAllLogics(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  monitor.Config
+		// exactNO asserts zero NO reports; the weak deciders (wec, sec) may
+		// legitimately report transient NOs on finite prefixes, so for them
+		// only drainage and verdict presence are checked.
+		exactNO bool
+	}{
+		{"lin", monitor.Config{N: 3, Object: trace.Queue(), Logic: monitor.LogicLin, History: queueHistory()}, true},
+		{"sc", monitor.Config{N: 3, Object: trace.Queue(), Logic: monitor.LogicSC, History: queueHistory()}, true},
+		{"wec", monitor.Config{N: 2, Logic: monitor.LogicWEC, History: counterHistory()}, false},
+		{"sec", monitor.Config{N: 2, Logic: monitor.LogicSEC, History: counterHistory()}, false},
+		{"ecledger", monitor.Config{N: 2, Logic: monitor.LogicECLedger, History: ledgerHistory()}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res, err := monitor.Run(tc.cfg)
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if !res.Drained {
+				t.Fatalf("replay did not drain the history (steps=%d)", res.Steps)
+			}
+			if res.Procs() != tc.cfg.N {
+				t.Fatalf("Procs() = %d, want %d", res.Procs(), tc.cfg.N)
+			}
+			if tc.exactNO && res.TotalNO() != 0 {
+				t.Fatalf("correct history got %d NO reports; verdicts %v", res.TotalNO(), res.Verdicts)
+			}
+			total := 0
+			for p := range res.Verdicts {
+				total += len(res.Verdicts[p])
+			}
+			if total == 0 {
+				t.Fatal("no verdicts reported")
+			}
+		})
+	}
+}
+
+func TestRunFlagsViolation(t *testing.T) {
+	// deq returns the second enqueue while the first is still in the queue:
+	// not linearizable for any ordering.
+	bad := trace.NewB().
+		Op(0, "enq", trace.Int(1), trace.Unit{}).
+		Op(0, "enq", trace.Int(2), trace.Unit{}).
+		Op(1, "deq", nil, trace.Int(2)).
+		Word()
+	res, err := monitor.Run(monitor.Config{N: 2, Object: trace.Queue(), Logic: monitor.LogicLin, History: bad})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.TotalNO() == 0 {
+		t.Fatal("non-linearizable history got no NO report")
+	}
+	ok, err := monitor.Linearizable(trace.Queue(), bad)
+	if err != nil || ok {
+		t.Fatalf("Linearizable = %v, %v; want false, nil", ok, err)
+	}
+	ok, err = monitor.SeqConsistent(trace.Queue(), bad)
+	if err != nil || ok {
+		t.Fatalf("SeqConsistent = %v, %v; want false, nil", ok, err)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	good := queueHistory()
+	cases := []struct {
+		name string
+		cfg  monitor.Config
+		want string
+	}{
+		{"zero procs", monitor.Config{Logic: monitor.LogicLin, Object: trace.Queue(), History: good}, "N must be"},
+		{"missing object", monitor.Config{N: 3, Logic: monitor.LogicLin, History: good}, "requires an Object"},
+		{"unknown logic", monitor.Config{N: 3, History: good}, "unknown logic"},
+		{"unknown array", monitor.Config{N: 3, Logic: monitor.LogicWEC, History: good, Array: 42}, "unknown array"},
+		{"too few procs", monitor.Config{N: 1, Logic: monitor.LogicWEC, History: counterHistory()}, "mentions 2 processes"},
+		{"ill-formed", monitor.Config{N: 2, Logic: monitor.LogicWEC,
+			History: trace.Word{trace.NewRes(0, "read", trace.Int(0))}}, "not well-formed"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := monitor.Run(tc.cfg); err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error = %v, want containing %q", err, tc.want)
+			}
+		})
+	}
+	for _, h := range []trace.Word{trace.Word{trace.NewRes(0, "read", trace.Int(0))}} {
+		if _, err := monitor.Linearizable(trace.Queue(), h); err == nil {
+			t.Fatal("Linearizable accepted ill-formed history")
+		}
+		if _, err := monitor.SeqConsistent(trace.Queue(), h); err == nil {
+			t.Fatal("SeqConsistent accepted ill-formed history")
+		}
+	}
+}
+
+// TestSessionReplayDeterministic pins the embedder determinism contract: the
+// same history replayed through a reused session, a fresh session, and the
+// one-shot Run yields byte-identical results.
+func TestSessionReplayDeterministic(t *testing.T) {
+	cfg := monitor.Config{N: 3, Object: trace.Queue(), Logic: monitor.LogicLin, History: queueHistory()}
+
+	encode := func(res *monitor.Result) []byte {
+		var buf bytes.Buffer
+		w := trace.NewWriter(&buf)
+		if err := w.WriteWord(res.History); err != nil {
+			t.Fatal(err)
+		}
+		for p := range res.Verdicts {
+			for k, v := range res.Verdicts[p] {
+				if err := w.WriteVerdict(p, v.String(), res.StepAt[p][k]); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	s := monitor.NewSession()
+	defer s.Close()
+	res1, err := s.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := encode(res1)
+	verdicts := make([][]monitor.Verdict, len(res1.Verdicts))
+	for p := range res1.Verdicts {
+		verdicts[p] = append([]monitor.Verdict(nil), res1.Verdicts[p]...)
+	}
+
+	res2, err := s.Run(cfg) // reused session
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := encode(res2); !bytes.Equal(first, got) {
+		t.Fatalf("session reuse changed the result:\n%s\nvs\n%s", first, got)
+	}
+	if !reflect.DeepEqual(verdicts, res2.Verdicts) {
+		t.Fatalf("session reuse changed verdicts: %v vs %v", verdicts, res2.Verdicts)
+	}
+
+	res3, err := monitor.Run(cfg) // one-shot path
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := encode(res3); !bytes.Equal(first, got) {
+		t.Fatalf("one-shot Run diverged from session run:\n%s\nvs\n%s", first, got)
+	}
+}
+
+func TestRecorderMisusePanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("NewRecorder(0)", func() { monitor.NewRecorder(0) })
+	rec := monitor.NewRecorder(2)
+	mustPanic("out-of-range Invoke", func() { rec.Invoke(2, "op", nil) })
+	mustPanic("Respond without Invoke", func() { rec.Respond(0, nil) })
+	rec.Invoke(0, "op", nil)
+	mustPanic("double Invoke", func() { rec.Invoke(0, "op", nil) })
+	rec.Respond(0, nil)
+	if rec.Len() != 2 || rec.Procs() != 2 {
+		t.Fatalf("Len=%d Procs=%d after one operation", rec.Len(), rec.Procs())
+	}
+}
+
+// TestRecorderPendingOperation checks that a history with an in-flight
+// operation is still well-formed and monitorable — monitors handle pending
+// invocations.
+func TestRecorderPendingOperation(t *testing.T) {
+	rec := monitor.NewRecorder(2)
+	rec.Record(0, "enq", trace.Int(5), func() trace.Value { return trace.Unit{} })
+	rec.Invoke(1, "deq", nil) // never responds
+	h := rec.History()
+	if err := trace.WellFormed(h); err != nil {
+		t.Fatalf("pending operation made history ill-formed: %v", err)
+	}
+	res, err := monitor.Run(monitor.Config{N: 2, Object: trace.Queue(), Logic: monitor.LogicLin, History: h})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalNO() != 0 {
+		t.Fatalf("pending-deq history judged NO: %v", res.Verdicts)
+	}
+}

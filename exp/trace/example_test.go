@@ -1,0 +1,86 @@
+package trace_test
+
+import (
+	"bytes"
+	"fmt"
+
+	"github.com/drv-go/drv/exp/trace"
+)
+
+// ExampleB builds a small concurrent history with the fluent builder: two
+// overlapping register operations.
+func ExampleB() {
+	w := trace.NewB().
+		Inv(0, "write", trace.Int(3)). // p0 starts write(3)
+		Inv(1, "read", nil).           // p1's read overlaps it
+		Res(0, "write", trace.Unit{}).
+		Res(1, "read", trace.Int(3)).
+		Word()
+	fmt.Println(w)
+	fmt.Println("well-formed:", trace.IsWellFormed(w))
+	// Output:
+	// <0:write(3) <1:read() >0:write=() >1:read=3
+	// well-formed: true
+}
+
+// ExampleOperations pairs the matched invocation/response events of a
+// history and inspects the real-time precedence relation.
+func ExampleOperations() {
+	w := trace.NewB().
+		Op(0, "enq", trace.Int(1), trace.Unit{}). // completes first
+		Inv(1, "deq", nil).
+		Res(1, "deq", trace.Int(1)).
+		Word()
+	ops := trace.Operations(w)
+	for _, o := range ops {
+		fmt.Println(o)
+	}
+	fmt.Println("enq precedes deq:", ops[0].Precedes(ops[1]))
+	// Output:
+	// p0#0 enq(1)=() [0,1]
+	// p1#0 deq()=1 [2,3]
+	// enq precedes deq: true
+}
+
+// ExampleSeqValid checks a sequential history against the queue
+// specification.
+func ExampleSeqValid() {
+	q := trace.Queue()
+	good := trace.NewB().
+		Op(0, "enq", trace.Int(7), trace.Unit{}).
+		Op(0, "deq", nil, trace.Int(7)).
+		Word()
+	bad := trace.NewB().
+		Op(0, "enq", trace.Int(7), trace.Unit{}).
+		Op(0, "deq", nil, trace.Int(8)).
+		Word()
+	fmt.Println(trace.SeqValid(q, trace.Operations(good)))
+	fmt.Println(trace.SeqValid(q, trace.Operations(bad)))
+	// Output:
+	// true
+	// false
+}
+
+// ExampleWriter streams a history and a verdict over the JSON-lines wire
+// format and parses it back.
+func ExampleWriter() {
+	var buf bytes.Buffer
+	w := trace.NewWriter(&buf)
+	w.WriteMeta(trace.Meta{N: 2, Note: "example"})
+	w.WriteWord(trace.NewB().Op(0, "inc", nil, trace.Unit{}).Word())
+	w.WriteVerdict(1, "YES", 42)
+	w.Flush()
+
+	parsed, err := trace.Read(&buf)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("n:", parsed.Meta.N)
+	fmt.Println("word:", parsed.Word)
+	fmt.Println("verdicts of p1:", parsed.Verdicts[1])
+	// Output:
+	// n: 2
+	// word: <0:inc() >0:inc=()
+	// verdicts of p1: [YES]
+}

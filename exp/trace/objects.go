@@ -1,11 +1,9 @@
-package spec
+package trace
 
 import (
 	"fmt"
 	"math/rand"
 	"strconv"
-
-	"github.com/drv-go/drv/internal/word"
 )
 
 // Operation names shared by the objects in this package. Using shared
@@ -23,7 +21,7 @@ const (
 )
 
 // Empty is the return value of deq/pop on an empty queue/stack.
-const Empty = word.Int(-1)
+const Empty = Int(-1)
 
 // ---------------------------------------------------------------- register
 
@@ -38,14 +36,14 @@ func (register) Init() State  { return regState(0) }
 func (register) Ops() []OpSig {
 	return []OpSig{{Name: OpWrite, Mutating: true}, {Name: OpRead}}
 }
-func (register) RandArg(op string, rng *rand.Rand) word.Value {
+func (register) RandArg(op string, rng *rand.Rand) Value {
 	if op == OpWrite {
-		return word.Int(rng.Intn(100))
+		return Int(rng.Intn(100))
 	}
-	return word.Unit{}
+	return Unit{}
 }
 
-type regState word.Int
+type regState Int
 
 func (s regState) Key() string { return fmt.Sprintf("r%d", int64(s)) }
 
@@ -53,16 +51,16 @@ func (s regState) Key() string { return fmt.Sprintf("r%d", int64(s)) }
 func (s regState) AppendKey(b []byte) []byte {
 	return strconv.AppendInt(append(b, 'r'), int64(s), 10)
 }
-func (s regState) Apply(op string, arg word.Value) (State, word.Value, bool) {
+func (s regState) Apply(op string, arg Value) (State, Value, bool) {
 	switch op {
 	case OpWrite:
-		v, ok := arg.(word.Int)
+		v, ok := arg.(Int)
 		if !ok {
 			return s, nil, false
 		}
-		return regState(v), word.Unit{}, true
+		return regState(v), Unit{}, true
 	case OpRead:
-		return s, word.Int(s), true
+		return s, Int(s), true
 	default:
 		return s, nil, false
 	}
@@ -81,9 +79,9 @@ func (counter) Init() State  { return ctrState(0) }
 func (counter) Ops() []OpSig {
 	return []OpSig{{Name: OpInc, Mutating: true}, {Name: OpRead}}
 }
-func (counter) RandArg(string, *rand.Rand) word.Value { return word.Unit{} }
+func (counter) RandArg(string, *rand.Rand) Value { return Unit{} }
 
-type ctrState word.Int
+type ctrState Int
 
 func (s ctrState) Key() string { return fmt.Sprintf("c%d", int64(s)) }
 
@@ -91,12 +89,12 @@ func (s ctrState) Key() string { return fmt.Sprintf("c%d", int64(s)) }
 func (s ctrState) AppendKey(b []byte) []byte {
 	return strconv.AppendInt(append(b, 'c'), int64(s), 10)
 }
-func (s ctrState) Apply(op string, arg word.Value) (State, word.Value, bool) {
+func (s ctrState) Apply(op string, arg Value) (State, Value, bool) {
 	switch op {
 	case OpInc:
-		return s + 1, word.Unit{}, true
+		return s + 1, Unit{}, true
 	case OpRead:
-		return s, word.Int(s), true
+		return s, Int(s), true
 	default:
 		return s, nil, false
 	}
@@ -121,13 +119,13 @@ func (consensus) Init() State  { return consState{} }
 func (consensus) Ops() []OpSig {
 	return []OpSig{{Name: OpPropose, Mutating: true}}
 }
-func (consensus) RandArg(_ string, rng *rand.Rand) word.Value {
-	return word.Int(rng.Intn(100))
+func (consensus) RandArg(_ string, rng *rand.Rand) Value {
+	return Int(rng.Intn(100))
 }
 
 type consState struct {
 	decided bool
-	val     word.Int
+	val     Int
 }
 
 func (s consState) Key() string {
@@ -145,11 +143,11 @@ func (s consState) AppendKey(b []byte) []byte {
 	return strconv.AppendInt(append(b, 'd'), int64(s.val), 10)
 }
 
-func (s consState) Apply(op string, arg word.Value) (State, word.Value, bool) {
+func (s consState) Apply(op string, arg Value) (State, Value, bool) {
 	if op != OpPropose {
 		return s, nil, false
 	}
-	v, ok := arg.(word.Int)
+	v, ok := arg.(Int)
 	if !ok {
 		return s, nil, false
 	}
@@ -177,11 +175,11 @@ func (ledger) InternRoot() State { return ledState{n: &ledNode{root: true}} }
 func (ledger) Ops() []OpSig {
 	return []OpSig{{Name: OpAppend, Mutating: true}, {Name: OpGet}}
 }
-func (ledger) RandArg(op string, rng *rand.Rand) word.Value {
+func (ledger) RandArg(op string, rng *rand.Rand) Value {
 	if op == OpAppend {
-		return word.Rec(fmt.Sprintf("r%d", rng.Intn(1000)))
+		return Rec(fmt.Sprintf("r%d", rng.Intn(1000)))
 	}
-	return word.Unit{}
+	return Unit{}
 }
 
 // ledState is a persistent ledger: appends share their prefix through parent
@@ -197,17 +195,17 @@ type ledState struct {
 
 type ledNode struct {
 	parent *ledNode
-	rec    word.Rec
+	rec    Rec
 	root   bool       // an empty-ledger anchor from InternRoot
 	enc    string     // lazy: "l" + rec + "|" per record, prefix-shared
-	seq    word.Seq   // lazy: materialized record list
-	val    word.Value // lazy: seq boxed once, so get never re-boxes
+	seq    Seq        // lazy: materialized record list
+	val    Value      // lazy: seq boxed once, so get never re-boxes
 	kids   []*ledNode // interned append children, one per distinct record
 }
 
 // emptyRecs is the boxed return of get on the empty ledger, shared so the
 // hot checker loop never re-boxes the slice header.
-var emptyRecs word.Value = word.Seq(nil)
+var emptyRecs Value = Seq(nil)
 
 func (s ledState) Key() string {
 	if s.n == nil {
@@ -227,7 +225,7 @@ func (n *ledNode) key() string {
 	return n.enc
 }
 
-func (s ledState) recs() word.Seq {
+func (s ledState) recs() Seq {
 	if s.n == nil || s.n.root {
 		return nil
 	}
@@ -243,10 +241,10 @@ func (s ledState) recs() word.Seq {
 // AppendKey implements spec.KeyAppender with the Key encoding.
 func (s ledState) AppendKey(b []byte) []byte { return append(b, s.Key()...) }
 
-func (s ledState) Apply(op string, arg word.Value) (State, word.Value, bool) {
+func (s ledState) Apply(op string, arg Value) (State, Value, bool) {
 	switch op {
 	case OpAppend:
-		r, ok := arg.(word.Rec)
+		r, ok := arg.(Rec)
 		if !ok {
 			return s, nil, false
 		}
@@ -258,14 +256,14 @@ func (s ledState) Apply(op string, arg word.Value) (State, word.Value, bool) {
 		if s.n != nil {
 			for _, k := range s.n.kids {
 				if k.rec == r {
-					return ledState{n: k}, word.Unit{}, true
+					return ledState{n: k}, Unit{}, true
 				}
 			}
 			k := &ledNode{parent: s.n, rec: r}
 			s.n.kids = append(s.n.kids, k)
-			return ledState{n: k}, word.Unit{}, true
+			return ledState{n: k}, Unit{}, true
 		}
-		return ledState{n: &ledNode{parent: s.n, rec: r}}, word.Unit{}, true
+		return ledState{n: &ledNode{parent: s.n, rec: r}}, Unit{}, true
 	case OpGet:
 		// States are immutable and Values are never mutated by consumers, so
 		// the cached record list can be returned without a defensive clone —
@@ -292,7 +290,7 @@ const OpScan = "scan"
 func OpUpd(i int) string { return fmt.Sprintf("upd%d", i) }
 
 // Vector returns the n-cell snapshot-object specification: upd<i>(v) writes v
-// into cell i and scan() returns the whole vector, encoded as a word.Seq of
+// into cell i and scan() returns the whole vector, encoded as a Seq of
 // decimal strings. It is the sequential specification against which the
 // wait-free snapshot protocol (package mem) is validated.
 func Vector(n int) Object { return vector{n: n} }
@@ -303,7 +301,7 @@ type vector struct {
 
 func (v vector) Name() string { return fmt.Sprintf("vector%d", v.n) }
 func (v vector) Init() State {
-	cells := make(word.Seq, v.n)
+	cells := make(Seq, v.n)
 	for i := range cells {
 		cells[i] = "0"
 	}
@@ -316,15 +314,15 @@ func (v vector) Ops() []OpSig {
 	}
 	return append(sigs, OpSig{Name: OpScan})
 }
-func (v vector) RandArg(op string, rng *rand.Rand) word.Value {
+func (v vector) RandArg(op string, rng *rand.Rand) Value {
 	if op == OpScan {
-		return word.Unit{}
+		return Unit{}
 	}
-	return word.Int(rng.Intn(100))
+	return Int(rng.Intn(100))
 }
 
 type vecState struct {
-	cells word.Seq
+	cells Seq
 }
 
 func (s vecState) Key() string { return "v" + s.cells.String() }
@@ -334,7 +332,7 @@ func (s vecState) AppendKey(b []byte) []byte {
 	return append(append(b, 'v'), s.cells.String()...)
 }
 
-func (s vecState) Apply(op string, arg word.Value) (State, word.Value, bool) {
+func (s vecState) Apply(op string, arg Value) (State, Value, bool) {
 	if op == OpScan {
 		return s, s.cells.Clone(), true
 	}
@@ -345,13 +343,13 @@ func (s vecState) Apply(op string, arg word.Value) (State, word.Value, bool) {
 	if err != nil || i < 0 || i >= len(s.cells) {
 		return s, nil, false
 	}
-	v, ok := arg.(word.Int)
+	v, ok := arg.(Int)
 	if !ok {
 		return s, nil, false
 	}
 	next := s.cells.Clone()
-	next[i] = word.Rec(v.String())
-	return vecState{cells: next}, word.Unit{}, true
+	next[i] = Rec(v.String())
+	return vecState{cells: next}, Unit{}, true
 }
 
 // ---------------------------------------------------------------- queue
@@ -374,11 +372,11 @@ func (queue) InternRoot() State { return queueState{n: &queueNode{}} }
 func (queue) Ops() []OpSig {
 	return []OpSig{{Name: OpEnq, Mutating: true}, {Name: OpDeq, Mutating: true}}
 }
-func (queue) RandArg(op string, rng *rand.Rand) word.Value {
+func (queue) RandArg(op string, rng *rand.Rand) Value {
 	if op == OpEnq {
-		return word.Int(rng.Intn(100))
+		return Int(rng.Intn(100))
 	}
-	return word.Unit{}
+	return Unit{}
 }
 
 // queueState is a persistent queue in the ledState mould: nodes record the
@@ -394,7 +392,7 @@ type queueState struct {
 
 type queueNode struct {
 	parent *queueNode
-	val    word.Int     // the item this node enqueued (enq nodes only)
+	val    Int          // the item this node enqueued (enq nodes only)
 	enq    bool         // true: enqueued val; false: dequeued one (or the root)
 	enqs   int          // enqueues along the path
 	head   int          // dequeues along the path
@@ -405,7 +403,7 @@ type queueNode struct {
 // itemAt walks the path to the enqueue with index i (0-based). The walk is
 // bounded by the path length — paying a pointer chase per lookup instead of
 // materializing an item slice per node keeps the search's working set flat.
-func (n *queueNode) itemAt(i int) word.Int {
+func (n *queueNode) itemAt(i int) Int {
 	m := n
 	for !m.enq || m.enqs != i+1 {
 		m = m.parent
@@ -443,24 +441,24 @@ func (s queueState) AppendKey(b []byte) []byte {
 	return s.n.appendItems(b, s.n.head)
 }
 
-func (s queueState) Apply(op string, arg word.Value) (State, word.Value, bool) {
+func (s queueState) Apply(op string, arg Value) (State, Value, bool) {
 	switch op {
 	case OpEnq:
-		v, ok := arg.(word.Int)
+		v, ok := arg.(Int)
 		if !ok {
 			return s, nil, false
 		}
 		if s.n != nil {
 			for _, k := range s.n.kids {
 				if k.val == v {
-					return queueState{n: k}, word.Unit{}, true
+					return queueState{n: k}, Unit{}, true
 				}
 			}
 			k := &queueNode{parent: s.n, val: v, enq: true, enqs: s.n.enqs + 1, head: s.n.head}
 			s.n.kids = append(s.n.kids, k)
-			return queueState{n: k}, word.Unit{}, true
+			return queueState{n: k}, Unit{}, true
 		}
-		return queueState{n: &queueNode{val: v, enq: true, enqs: 1}}, word.Unit{}, true
+		return queueState{n: &queueNode{val: v, enq: true, enqs: 1}}, Unit{}, true
 	case OpDeq:
 		n := s.n
 		if n == nil || n.enqs == n.head {
@@ -493,11 +491,11 @@ func (stack) InternRoot() State { return stackState{n: &stackNode{}} }
 func (stack) Ops() []OpSig {
 	return []OpSig{{Name: OpPush, Mutating: true}, {Name: OpPop, Mutating: true}}
 }
-func (stack) RandArg(op string, rng *rand.Rand) word.Value {
+func (stack) RandArg(op string, rng *rand.Rand) Value {
 	if op == OpPush {
-		return word.Int(rng.Intn(100))
+		return Int(rng.Intn(100))
 	}
-	return word.Unit{}
+	return Unit{}
 }
 
 // stackState is a persistent stack: push interns a child node, pop walks back
@@ -510,7 +508,7 @@ type stackState struct {
 
 type stackNode struct {
 	parent *stackNode
-	val    word.Int
+	val    Int
 	depth  int          // pushed items along the path; 0 = an empty-stack anchor
 	kids   []*stackNode // interned push children, one per distinct item
 }
@@ -537,24 +535,24 @@ func (s stackState) AppendKey(b []byte) []byte {
 	return s.n.appendItems(append(b, 's'))
 }
 
-func (s stackState) Apply(op string, arg word.Value) (State, word.Value, bool) {
+func (s stackState) Apply(op string, arg Value) (State, Value, bool) {
 	switch op {
 	case OpPush:
-		v, ok := arg.(word.Int)
+		v, ok := arg.(Int)
 		if !ok {
 			return s, nil, false
 		}
 		if s.n != nil {
 			for _, k := range s.n.kids {
 				if k.val == v {
-					return stackState{n: k}, word.Unit{}, true
+					return stackState{n: k}, Unit{}, true
 				}
 			}
 			k := &stackNode{parent: s.n, val: v, depth: s.n.depth + 1}
 			s.n.kids = append(s.n.kids, k)
-			return stackState{n: k}, word.Unit{}, true
+			return stackState{n: k}, Unit{}, true
 		}
-		return stackState{n: &stackNode{val: v, depth: 1}}, word.Unit{}, true
+		return stackState{n: &stackNode{val: v, depth: 1}}, Unit{}, true
 	case OpPop:
 		if s.n == nil || s.n.depth == 0 {
 			return s, Empty, true

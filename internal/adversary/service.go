@@ -11,18 +11,6 @@ import (
 	"github.com/drv-go/drv/internal/word"
 )
 
-// Response is what a process receives back from the service in Line 04: the
-// response symbol, and — when the service is a timed adversary — the view
-// attached to it, plus the operation identifier the service assigned to the
-// interaction.
-type Response struct {
-	Sym word.Symbol
-	// ID tags the operation this response completes; unique per execution.
-	ID word.OpID
-	// View is non-nil only for timed services.
-	View *View
-}
-
 // Service is a distributed service under inspection, from the point of view
 // of one monitor process: an oracle for the process's next invocation
 // (Line 01 — in the model the adversary determines what processes send), a

@@ -134,7 +134,7 @@ func (l Lemma65) Run(mk func(tau *adversary.Timed) monitor.Monitor, kind adversa
 		Converges: check.ECLedgerConverges(res.History),
 		Run:       res,
 	}
-	if sk, err := res.Sketch(n, tau); err == nil {
+	if sk, err := res.Sketch(n, tau.InvAt); err == nil {
 		out.TightSketch = sk.Equal(res.History)
 	}
 	// Attribute NOs to phases by the source position consumed when each

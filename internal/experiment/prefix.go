@@ -146,7 +146,7 @@ func (a PrefixAttack) RunTimed(mk func(tau *adversary.Timed) monitor.Monitor, ki
 	}
 	res.PrefixesMatch = observationsPrefixEqual(badRes, hybRes, noProc, noIdx)
 	res.ReplayNO = len(hybRes.Verdicts[noProc]) > noIdx && hybRes.Verdicts[noProc][noIdx] == monitor.No
-	if sk, err := hybRes.Sketch(a.N, tau); err == nil {
+	if sk, err := hybRes.Sketch(a.N, tau.InvAt); err == nil {
 		res.TightSketch = sk.Equal(hybRes.History)
 	}
 	return res, nil

@@ -215,7 +215,7 @@ func (t *plan) sweepTimed(cell cellKey, mk func(tau *adversary.Timed) monitor.Mo
 				func(_ context.Context, ex *exec) []error {
 					res, tau := runTimed(ex, t.p, mk, lb.New(), seed, steps)
 					ev := core.Eval{Class: class, Window: t.p.Window, SketchViolated: func() bool {
-						sk, err := res.Sketch(t.p.Procs, tau)
+						sk, err := res.Sketch(t.p.Procs, tau.InvAt)
 						if err != nil {
 							return false
 						}

@@ -245,7 +245,7 @@ func checkOwnSafety(out *Outcome, res *monitor.Result) {
 func (r Runner) checkClass(out *Outcome, l lang.Lang, lb adversary.Labeled, fam family, res *monitor.Result, tau *adversary.Timed) {
 	n := out.Spec.N
 	sketchBad := func(bad func(word.Word) bool) bool {
-		sk, err := res.Sketch(n, tau)
+		sk, err := res.Sketch(n, tau.InvAt)
 		if err != nil {
 			return false
 		}

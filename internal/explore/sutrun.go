@@ -375,13 +375,13 @@ func (r Runner) runHistoryChecks(out *Outcome, obj spec.Object, safetyName strin
 	out.ran(CheckMonitorLin)
 	switch {
 	case lin && res.TotalNO() > 0:
-		sk, err := res.Sketch(s.N, tau)
+		sk, err := res.Sketch(s.N, tau.InvAt)
 		if err == nil && r.checkLin(obj, sk, s.N) {
 			out.diverge(CheckMonitorLin,
 				"history and sketch are both linearizable but %s reported %d NO verdict(s)", out.Monitor, res.TotalNO())
 		}
 	case !lin && !crashed && !lossy && res.Drained && res.TotalNO() == 0:
-		sk, err := res.Sketch(s.N, tau)
+		sk, err := res.Sketch(s.N, tau.InvAt)
 		if err == nil && !r.checkLin(obj, sk, s.N) {
 			out.diverge(CheckMonitorLin,
 				"history and sketch are both non-linearizable but no process ever reported NO")

@@ -159,7 +159,7 @@ func (l *predictiveLogic) PostRecv(p *sched.Proc, resp adversary.Response) {
 		Res:  resp.Sym,
 		View: *resp.View,
 	}, l.tbuf)
-	h, err := l.builder.Build(l.n, l.tbuf, l.tau.InvAt)
+	h, err := l.builder.BuildSketch(l.n, l.tbuf, l.tau.InvAt)
 	if err != nil {
 		// Incomparable views (possible only with collect-backed timed
 		// adversaries) leave the process without a usable history this

@@ -11,36 +11,24 @@
 package monitor
 
 import (
+	"github.com/drv-go/drv/exp/trace"
 	"github.com/drv-go/drv/internal/adversary"
 	"github.com/drv-go/drv/internal/sched"
 	"github.com/drv-go/drv/internal/word"
 )
 
-// Verdict is a value a process reports in Line 06.
-type Verdict uint8
+// Verdict is a value a process reports in Line 06; re-homed in the exported
+// exp/trace package and aliased here.
+type Verdict = trace.Verdict
 
 const (
 	// Yes reports the behaviour is (still) considered correct.
-	Yes Verdict = iota + 1
+	Yes = trace.Yes
 	// No reports a violation.
-	No
+	No = trace.No
 	// Maybe reports insufficient information (three-valued monitors, §7).
-	Maybe
+	Maybe = trace.Maybe
 )
-
-// String renders the verdict.
-func (v Verdict) String() string {
-	switch v {
-	case Yes:
-		return "YES"
-	case No:
-		return "NO"
-	case Maybe:
-		return "MAYBE"
-	default:
-		return "verdict(?)"
-	}
-}
 
 // Logic is the per-process monitor body: the blocks of Lines 02, 05 and 06
 // of Figure 1. All shared-memory operations must be wait-free, which the mem

@@ -125,7 +125,7 @@ func TestFig8LinRegisterIsPSD(t *testing.T) {
 		}, lb.New(), 3)
 		_ = gotTau
 		ev := core.Eval{Class: core.PSD, Window: testWindow, SketchViolated: func() bool {
-			sk, err := res.Sketch(testProcs, tau)
+			sk, err := res.Sketch(testProcs, tau.InvAt)
 			if err != nil {
 				t.Fatalf("sketch: %v", err)
 			}
@@ -146,7 +146,7 @@ func TestFig8LinLedgerIsPSD(t *testing.T) {
 			return NewLin(spec.Ledger(), tt, adversary.ArrayAtomic)
 		}, lb.New(), 4)
 		ev := core.Eval{Class: core.PSD, Window: testWindow, SketchViolated: func() bool {
-			sk, err := res.Sketch(testProcs, tau)
+			sk, err := res.Sketch(testProcs, tau.InvAt)
 			if err != nil {
 				t.Fatalf("sketch: %v", err)
 			}
@@ -171,7 +171,7 @@ func TestFig8SCRegisterIsPSD(t *testing.T) {
 			return NewSC(spec.Register(), tt, adversary.ArrayAtomic)
 		}, lb.New(), 5, scSteps)
 		ev := core.Eval{Class: core.PSD, Window: testWindow, SketchViolated: func() bool {
-			sk, err := res.Sketch(testProcs, tau)
+			sk, err := res.Sketch(testProcs, tau.InvAt)
 			if err != nil {
 				t.Fatalf("sketch: %v", err)
 			}
@@ -195,7 +195,7 @@ func TestFig9SECIsPWD(t *testing.T) {
 			return AmplifyWAD(NewSEC(tt, adversary.ArrayAtomic), adversary.ArrayAtomic)
 		}, lb.New(), 6)
 		ev := core.Eval{Class: core.PWD, Window: testWindow, SketchViolated: func() bool {
-			sk, err := res.Sketch(testProcs, tau)
+			sk, err := res.Sketch(testProcs, tau.InvAt)
 			if err != nil {
 				t.Fatalf("sketch: %v", err)
 			}

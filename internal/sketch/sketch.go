@@ -4,128 +4,30 @@
 // (Figure 7). Theorem 6.1 gives the two properties monitors rely on:
 // precedence in x(E) is preserved in x~(E), and x~(E) is the input of an
 // execution indistinguishable from E.
+//
+// The construction is re-homed in the exported exp/trace package (as
+// BuildSketch/SketchBuilder) and aliased here; the timeline renderers stay
+// internal.
 package sketch
 
 import (
-	"cmp"
-	"errors"
-	"fmt"
-	"slices"
-
-	"github.com/drv-go/drv/internal/adversary"
-	"github.com/drv-go/drv/internal/word"
+	"github.com/drv-go/drv/exp/trace"
 )
 
-// ErrIncomparableViews is returned when the collected views do not form a
-// containment chain. Atomic-snapshot timed adversaries never trigger it;
-// collect-based ones can (the complication addressed in [41]).
-var ErrIncomparableViews = errors.New("sketch: views are not totally ordered by containment")
+// ErrIncomparableViews reports views not totally ordered by containment.
+var ErrIncomparableViews = trace.ErrIncomparableViews
 
-// Triple is one observed interaction with Aτ: the invocation a process sent,
-// the identifier Aτ assigned, the response, and the view attached to it.
-// Triples are what Figure 8's monitor stores in its shared array M.
-type Triple struct {
-	ID   word.OpID
-	Inv  word.Symbol
-	Res  word.Symbol
-	View adversary.View
-}
+// Triple is one process's record of a completed operation: the operation
+// identifier, its invocation and response symbols, and the view attached to
+// the response.
+type Triple = trace.Triple
 
-// Resolver maps announced invocation identifiers to their symbols. Views may
-// contain invocations of operations whose responses the collector never saw;
-// the resolver (backed by Aτ's announcement log) supplies their symbols.
-type Resolver func(word.OpID) word.Symbol
+// Resolver recovers the invocation symbol of an operation identifier.
+type Resolver = trace.Resolver
 
-// Build constructs the sketch history from the triples, per Appendix B:
-// distinct views are sorted in ascending containment order; for each view in
-// turn, first the invocations in its difference with the previous view are
-// appended, then the responses of all operations carrying exactly that view.
-// Within a batch, symbols are appended in operation-identifier order — one
-// canonical representative of the construction's equivalence class (any
-// batch order yields the same precedence relations).
-func Build(n int, triples []Triple, resolve Resolver) (word.Word, error) {
-	var b Builder
-	return b.Build(n, triples, resolve)
-}
+// Build constructs the sketch x~(E) from the triples of a run against a
+// timed adversary.
+var Build = trace.BuildSketch
 
-// Builder holds Build's scratch buffers. A monitor logic that builds one
-// sketch per round reuses its Builder, so steady-state rounds allocate
-// nothing; the word a Build returns aliases the scratch and is valid until
-// the next call on the same Builder.
-type Builder struct {
-	tris  []Triple
-	out   word.Word
-	fresh []word.OpID
-}
-
-// Build is the buffer-reusing form of the package-level Build; both produce
-// byte-identical words. The triples slice is not modified.
-func (b *Builder) Build(n int, triples []Triple, resolve Resolver) (word.Word, error) {
-	if len(triples) == 0 {
-		return nil, nil
-	}
-	for i := range triples {
-		if !triples[i].View.Contains(triples[i].ID) {
-			return nil, fmt.Errorf("sketch: triple %v has view %v missing its own invocation", triples[i].ID, triples[i].View)
-		}
-	}
-	// Sorting by (view total, identifier) groups each distinct view of a
-	// containment chain into one run — equal totals force equal views — with
-	// the run's responses already in canonical batch order.
-	b.tris = append(b.tris[:0], triples...)
-	slices.SortFunc(b.tris, func(x, y Triple) int {
-		if d := cmp.Compare(x.View.Total(), y.View.Total()); d != 0 {
-			return d
-		}
-		return compareOpIDs(x.ID, y.ID)
-	})
-	out := b.out[:0]
-	fresh := b.fresh[:0]
-	var prev adversary.View // the empty view
-	for i := 0; i < len(b.tris); {
-		v := b.tris[i].View
-		j := i + 1
-		for ; j < len(b.tris) && b.tris[j].View.Total() == v.Total(); j++ {
-			if !b.tris[j].View.Equal(v) {
-				b.out, b.fresh = out, fresh
-				return nil, fmt.Errorf("%w: %v vs %v", ErrIncomparableViews, v, b.tris[j].View)
-			}
-		}
-		if !prev.Leq(v) {
-			b.out, b.fresh = out, fresh
-			return nil, fmt.Errorf("%w: %v vs %v", ErrIncomparableViews, prev, v)
-		}
-		// Step 1: invocations newly visible in this view, enumerated in
-		// identifier order (Diff ascends by process then index).
-		fresh = fresh[:0]
-		for p := 0; p < v.Procs(); p++ {
-			lo := 0
-			if p < prev.Procs() {
-				lo = prev.Count(p)
-			}
-			for k := lo; k < v.Count(p); k++ {
-				fresh = append(fresh, word.OpID{Proc: p, Idx: k})
-			}
-		}
-		for _, id := range fresh {
-			out = append(out, resolve(id))
-		}
-		// Step 2: responses of the operations carrying exactly this view.
-		for k := i; k < j; k++ {
-			out = append(out, b.tris[k].Res)
-		}
-		prev = v
-		i = j
-	}
-	b.out, b.fresh = out, fresh
-	return out, nil
-}
-
-// compareOpIDs orders identifiers by process then per-process index — the
-// canonical batch order of the construction.
-func compareOpIDs(a, b word.OpID) int {
-	if a.Proc != b.Proc {
-		return cmp.Compare(a.Proc, b.Proc)
-	}
-	return cmp.Compare(a.Idx, b.Idx)
-}
+// Builder amortizes Build's allocations across repeated constructions.
+type Builder = trace.SketchBuilder

@@ -4,86 +4,72 @@
 // paper's examples — register, counter, ledger (Examples 1–4) — are provided,
 // plus the queue and stack used by the linearizability results of [17] that
 // Section 6.2 generalizes.
+//
+// The definitions are re-homed in the exported exp/trace package so external
+// embedders can supply their own objects; this package aliases them (type
+// identity is preserved) for the internal pipeline.
 package spec
 
 import (
-	"math/rand"
-
-	"github.com/drv-go/drv/internal/word"
+	"github.com/drv-go/drv/exp/trace"
 )
 
-// State is an immutable sequential-object state. Apply never mutates the
-// receiver; it returns the successor state, so checker searches can branch.
-type State interface {
-	// Apply runs one operation on the state and returns the successor state
-	// and the operation's return value. ok is false when the operation name
-	// is unknown; total objects (footnote 3 of the paper) accept every
-	// operation in every state.
-	Apply(op string, arg word.Value) (next State, ret word.Value, ok bool)
-	// Key is a canonical encoding of the state used to memoize checker
-	// searches. Two states with equal keys must be behaviourally identical.
-	Key() string
-}
+// State is an immutable sequential-object state.
+type State = trace.State
 
-// KeyAppender is an optional fast path for State.Key: AppendKey appends the
-// exact bytes Key would return to b and returns the extended slice, letting
-// checker searches build memo keys into reused buffers instead of allocating
-// a string per visited node. Implementations must keep the two encodings
-// identical.
-type KeyAppender interface {
-	AppendKey(b []byte) []byte
-}
+// KeyAppender is an optional fast path for State.Key.
+type KeyAppender = trace.KeyAppender
 
-// OpSig describes one operation of an object's interface, for workload
-// generators.
-type OpSig struct {
-	Name string
-	// Mutating operations change the object state (write, inc, append, enq,
-	// push); generators use this to balance workloads. The flag is a
-	// contract, not a hint: Apply of a non-mutating operation must return
-	// the state unchanged — the incremental checker's verdict caching
-	// (check.Incremental) relies on it.
-	Mutating bool
-}
+// OpSig describes one operation of an object's interface.
+type OpSig = trace.OpSig
 
 // RootInterner is an optional Object interface for states with internal
-// sharing: InternRoot returns a fresh state equivalent to Init whose
-// reachable states are interned privately for the caller, so a search that
-// re-applies the same operations along reconverging branches gets the same
-// state value back instead of an allocation. The returned state (and
-// everything reached from it) must stay within one goroutine.
-type RootInterner interface {
-	InternRoot() State
-}
+// sharing.
+type RootInterner = trace.RootInterner
 
 // Object is a sequential object: a name, an initial state, and an operation
 // signature set.
-type Object interface {
-	// Name returns the object's name, e.g. "register".
-	Name() string
-	// Init returns the initial state.
-	Init() State
-	// Ops lists the object's operations.
-	Ops() []OpSig
-	// RandArg draws a random valid argument for the named operation.
-	RandArg(op string, rng *rand.Rand) word.Value
-}
+type Object = trace.Object
 
-// Run applies the operations of a sequential word (alternating matched
-// invocation/response pairs, no interleaving) to the object's initial state
-// and reports whether every response matches the specification. It is the
-// "valid sequential history" test used throughout Section 2.
-func Run(obj Object, ops []word.Operation) bool {
-	st := obj.Init()
-	for _, o := range ops {
-		next, ret, ok := st.Apply(o.Op, o.Arg)
-		if !ok {
-			return false
-		}
-		if o.Ret != nil && !ret.Equal(o.Ret) {
-			return false
-		}
-		st = next
-	}
-	return true
-}
+// Run applies the operations of a sequential word to the object's initial
+// state and reports whether every response matches the specification.
+var Run = trace.SeqValid
+
+// Operation names shared across objects.
+const (
+	OpRead   = trace.OpRead
+	OpWrite  = trace.OpWrite
+	OpInc    = trace.OpInc
+	OpAppend = trace.OpAppend
+	OpGet    = trace.OpGet
+	OpEnq    = trace.OpEnq
+	OpDeq    = trace.OpDeq
+	OpPush   = trace.OpPush
+	OpPop    = trace.OpPop
+	// OpPropose is the propose operation of the Consensus object.
+	OpPropose = trace.OpPropose
+	// OpScan is the scan operation of the Vector object.
+	OpScan = trace.OpScan
+)
+
+// Empty is the return value of deq/pop on an empty queue/stack.
+const Empty = trace.Empty
+
+var (
+	// Register returns the sequential read/write register of Example 1.
+	Register = trace.Register
+	// Counter returns the sequential counter of Example 2.
+	Counter = trace.Counter
+	// Consensus returns the sequential one-shot consensus object.
+	Consensus = trace.Consensus
+	// Ledger returns the sequential append/get ledger of Example 4.
+	Ledger = trace.Ledger
+	// Vector returns the n-cell upd/scan vector object.
+	Vector = trace.Vector
+	// OpUpd returns the update operation name for cell i of a Vector.
+	OpUpd = trace.OpUpd
+	// Queue returns the sequential FIFO queue.
+	Queue = trace.Queue
+	// Stack returns the sequential LIFO stack.
+	Stack = trace.Stack
+)
