@@ -7,13 +7,16 @@
 package drv_test
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"testing"
 
+	exptrace "github.com/drv-go/drv/exp/trace"
 	"github.com/drv-go/drv/internal/abd"
 	"github.com/drv-go/drv/internal/adversary"
 	"github.com/drv-go/drv/internal/experiment"
@@ -22,6 +25,7 @@ import (
 	"github.com/drv-go/drv/internal/monitor"
 	"github.com/drv-go/drv/internal/msgnet"
 	"github.com/drv-go/drv/internal/sched"
+	"github.com/drv-go/drv/internal/serve"
 	"github.com/drv-go/drv/internal/sketch"
 	"github.com/drv-go/drv/internal/spec"
 	"github.com/drv-go/drv/internal/sut"
@@ -713,6 +717,143 @@ func BenchmarkExploreStages(b *testing.B) {
 		stageStats = rep.Stages
 	}
 	flushStageBaseline(b)
+}
+
+// ---------------------------------------------------------------- serving
+
+// benchServeHistory builds a linearizable queue history of the given length:
+// sequential enqueues rotating over the processes.
+func benchServeHistory(events int) exptrace.Word {
+	bld := exptrace.NewB()
+	for i := 0; i < events/2; i++ {
+		bld.Op(i%benchProcs, "enq", exptrace.Int(int64(i+1)), exptrace.Unit{})
+	}
+	return bld.Word()
+}
+
+// benchServeRequest renders one complete drvserve connection: the handshake
+// plus `streams` verdict streams each replaying the same recorded history.
+func benchServeRequest(b *testing.B, streams, events int) []byte {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	encode := func(r serve.Request) {
+		if err := enc.Encode(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+	encode(serve.Request{Config: &serve.ClientConfig{Protocol: serve.ProtocolVersion}})
+	h := benchServeHistory(events)
+	for s := 0; s < streams; s++ {
+		id := fmt.Sprintf("bench-%d", s)
+		encode(serve.Request{Open: &serve.Open{Stream: id, Logic: "lin", Object: "queue"}})
+		encode(serve.Request{Event: &serve.StreamEvent{Stream: id, Event: exptrace.Event{Kind: exptrace.KindMeta, Meta: &exptrace.Meta{N: benchProcs}}}})
+		for _, sym := range h {
+			ev, err := exptrace.EncodeSymbol(sym)
+			if err != nil {
+				b.Fatal(err)
+			}
+			encode(serve.Request{Event: &serve.StreamEvent{Stream: id, Event: ev}})
+		}
+		encode(serve.Request{Close: &serve.CloseStream{Stream: id}})
+	}
+	return buf.Bytes()
+}
+
+// serveRW pairs a request reader with a response writer for ServeConn.
+type serveRW struct {
+	io.Reader
+	io.Writer
+}
+
+// BenchmarkServe measures drvserve ingestion throughput (verdicts/sec): one
+// full connection per iteration against a warm server — handshake, stream
+// demux, per-stream trace decode, pooled replay, response encode. Rows cover
+// a single stream on one shard and an 8-stream connection on one shard
+// versus a GOMAXPROCS-wide pool. When BENCH_SERVE_OUT is set, a
+// machine-readable baseline (see BENCH_serve.json) is written there after
+// the run.
+func BenchmarkServe(b *testing.B) {
+	const events = 240
+	type config struct {
+		name    string
+		streams int
+		shards  int
+	}
+	configs := []config{
+		{"single-stream", 1, 1},
+		{"multi-8-shards-1", 8, 1},
+		{"multi-8-shards-4", 8, 4},
+	}
+	skippedRows := ""
+	if runtime.NumCPU() == 1 {
+		configs = configs[:2]
+		skippedRows = "num_cpu=1: the shards-4 row is skipped (a wider pool would only measure shard-queue overhead, not speedup); re-run on a multi-core machine to capture the scaling row"
+	}
+	type rate struct {
+		Name        string  `json:"name"`
+		Streams     int     `json:"streams"`
+		Shards      int     `json:"shards"`
+		Events      int     `json:"events_per_stream"`
+		Verdicts    int     `json:"verdicts_per_conn"`
+		VerdictsSec float64 `json:"verdicts_per_sec"`
+	}
+	rates := make([]rate, len(configs))
+	for ci, cfg := range configs {
+		ci, cfg := ci, cfg
+		b.Run(cfg.name, func(b *testing.B) {
+			req := benchServeRequest(b, cfg.streams, events)
+			srv := serve.New(serve.Config{Shards: cfg.shards})
+			defer func() {
+				if err := srv.Shutdown(context.Background()); err != nil {
+					b.Fatal(err)
+				}
+			}()
+			// Calibrate: count the verdict lines one connection produces.
+			var out bytes.Buffer
+			if err := srv.ServeConn(serveRW{bytes.NewReader(req), &out}); err != nil {
+				b.Fatal(err)
+			}
+			verdicts := bytes.Count(out.Bytes(), []byte(`{"verdict":`))
+			if verdicts == 0 {
+				b.Fatalf("calibration connection produced no verdicts:\n%s", out.Bytes())
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := srv.ServeConn(serveRW{bytes.NewReader(req), io.Discard}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			perSec := float64(verdicts*b.N) / b.Elapsed().Seconds()
+			b.ReportMetric(perSec, "verdicts/s")
+			rates[ci] = rate{
+				Name: cfg.name, Streams: cfg.streams, Shards: cfg.shards,
+				Events: events, Verdicts: verdicts, VerdictsSec: perSec,
+			}
+		})
+	}
+	if out := os.Getenv("BENCH_SERVE_OUT"); out != "" && rates[len(rates)-1].Verdicts > 0 {
+		baseline := struct {
+			Note        string `json:"note"`
+			NumCPU      int    `json:"num_cpu"`
+			GoMaxProcs  int    `json:"gomaxprocs"`
+			SkippedRows string `json:"skipped_rows,omitempty"`
+			Rates       []rate `json:"rates"`
+		}{
+			Note:        "drvserve ingestion baseline; regenerate with: BENCH_SERVE_OUT=BENCH_serve.json go test -run '^$' -bench BenchmarkServe -benchtime 50x . Each iteration serves one full connection (handshake, stream demux, trace decode, pooled replay, response encode) against a warm server; verdict streams are byte-identical across pool sizes, so the shards rows measure cost, not output. The multi-core scaling row is skipped when num_cpu=1 (see skipped_rows).",
+			NumCPU:      runtime.NumCPU(),
+			GoMaxProcs:  runtime.GOMAXPROCS(0),
+			SkippedRows: skippedRows,
+			Rates:       rates,
+		}
+		js, err := json.MarshalIndent(baseline, "", "  ")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile(out, append(js, '\n'), 0o644); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // ---------------------------------------------------------------- porting

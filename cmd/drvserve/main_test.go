@@ -1,0 +1,177 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"net"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/drv-go/drv/exp/trace"
+	"github.com/drv-go/drv/internal/serve"
+)
+
+var update = flag.Bool("update", false, "rewrite the request and response goldens")
+
+// slugs are the extsut workloads whose recorded histories are committed
+// under testdata (regenerate with: go run ../../examples/extsut -trace testdata).
+var slugs = []string{"chan_queue", "stale_queue"}
+
+func loadTrace(t *testing.T, slug string) *trace.Trace {
+	t.Helper()
+	f, err := os.Open(filepath.Join("testdata", slug+".jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := trace.Read(f)
+	if err != nil {
+		t.Fatalf("%s: %v", slug, err)
+	}
+	return tr
+}
+
+func opts(slug string) options {
+	return options{stream: slug, logic: "lin", object: "queue"}
+}
+
+func checkGolden(t *testing.T, path string, got []byte) {
+	t.Helper()
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("output drifted from %s (rerun with -update if intended):\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+// TestRequestGolden pins the exact bytes -send puts on the wire for the
+// committed histories.
+func TestRequestGolden(t *testing.T) {
+	for _, slug := range slugs {
+		var buf bytes.Buffer
+		if err := encodeRequest(&buf, loadTrace(t, slug), opts(slug)); err != nil {
+			t.Fatalf("%s: %v", slug, err)
+		}
+		checkGolden(t, filepath.Join("testdata", slug+"_request.ndjson"), buf.Bytes())
+	}
+}
+
+// serveBytes runs one request through a fresh server and returns the raw
+// response bytes.
+func serveBytes(t *testing.T, cfg serve.Config, req []byte) []byte {
+	t.Helper()
+	srv := serve.New(cfg)
+	defer func() {
+		if err := srv.Shutdown(context.Background()); err != nil {
+			t.Fatalf("Shutdown: %v", err)
+		}
+	}()
+	var out bytes.Buffer
+	if err := srv.ServeConn(rw{bytes.NewReader(req), &out}); err != nil {
+		t.Fatalf("ServeConn: %v", err)
+	}
+	return out.Bytes()
+}
+
+// TestResponseGolden is the acceptance pin: the served verdict stream for a
+// fixed input is byte-identical across two runs and across pool sizes, and
+// matches the committed golden.
+func TestResponseGolden(t *testing.T) {
+	for _, slug := range slugs {
+		req, err := os.ReadFile(filepath.Join("testdata", slug+"_request.ndjson"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		first := serveBytes(t, serve.Config{Shards: 1}, req)
+		checkGolden(t, filepath.Join("testdata", slug+"_response.golden"), first)
+		if again := serveBytes(t, serve.Config{Shards: 1}, req); !bytes.Equal(first, again) {
+			t.Fatalf("%s: two runs over the same input diverged", slug)
+		}
+		for _, shards := range []int{2, 4} {
+			if got := serveBytes(t, serve.Config{Shards: shards}, req); !bytes.Equal(first, got) {
+				t.Fatalf("%s: responses differ between shards=1 and shards=%d", slug, shards)
+			}
+		}
+	}
+}
+
+// TestStdioMode drives the actual -stdio command path against the goldens.
+func TestStdioMode(t *testing.T) {
+	for _, slug := range slugs {
+		req, err := os.ReadFile(filepath.Join("testdata", slug+"_request.ndjson"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := os.ReadFile(filepath.Join("testdata", slug+"_response.golden"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out, errb bytes.Buffer
+		if code := run([]string{"-stdio", "-shards", "1"}, bytes.NewReader(req), &out, &errb); code != 0 {
+			t.Fatalf("%s: -stdio exited %d: %s", slug, code, errb.Bytes())
+		}
+		if !bytes.Equal(out.Bytes(), want) {
+			t.Fatalf("%s: -stdio output drifted:\n--- got ---\n%s\n--- want ---\n%s", slug, out.Bytes(), want)
+		}
+	}
+}
+
+// TestSendMode drives the -send client against an in-process TCP server and
+// checks the copied responses equal the golden.
+func TestSendMode(t *testing.T) {
+	srv := serve.New(serve.Config{Shards: 2})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(ln) }()
+	defer func() {
+		if err := srv.Shutdown(context.Background()); err != nil {
+			t.Fatalf("Shutdown: %v", err)
+		}
+		if err := <-serveDone; err != serve.ErrServerClosed {
+			t.Fatalf("Serve returned %v", err)
+		}
+	}()
+
+	for _, slug := range slugs {
+		want, err := os.ReadFile(filepath.Join("testdata", slug+"_response.golden"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out, errb bytes.Buffer
+		args := []string{"-send", ln.Addr().String(), "-stream", slug, "-logic", "lin", "-object", "queue",
+			filepath.Join("testdata", slug+".jsonl")}
+		if code := run(args, nil, &out, &errb); code != 0 {
+			t.Fatalf("%s: -send exited %d: %s", slug, code, errb.Bytes())
+		}
+		if !bytes.Equal(out.Bytes(), want) {
+			t.Fatalf("%s: -send output drifted:\n--- got ---\n%s\n--- want ---\n%s", slug, out.Bytes(), want)
+		}
+	}
+}
+
+// TestModeSelection pins the exactly-one-mode flag contract.
+func TestModeSelection(t *testing.T) {
+	for _, args := range [][]string{
+		{},
+		{"-stdio", "-addr", ":0"},
+		{"-send", "x:1", "-stdio"},
+		{"-send", "x:1"}, // missing trace file
+	} {
+		var out, errb bytes.Buffer
+		if code := run(args, nil, &out, &errb); code != 2 {
+			t.Fatalf("run(%v) = %d, want 2", args, code)
+		}
+	}
+}

@@ -72,10 +72,18 @@
 // locked by exp/testdata/api.golden.
 //
 // The cmd directory holds the reproduction tools (drvtable, drvtrace,
-// drvmon, drvsketch, drvexplore); examples holds six runnable walkthroughs,
-// including examples/extsut, an outside consumer that monitors queues of
-// its own using only the exp surface. The root bench and test files
-// regenerate every table and figure of the paper.
+// drvmon, drvsketch, drvexplore) and drvserve, the monitoring-as-a-service
+// front end: internal/serve accepts recorded histories as NDJSON trace
+// streams over a versioned request envelope, routes each stream through a
+// sharded pool of monitor sessions keyed by stream id, and streams verdict
+// events back incrementally, with bounded queues end to end and graceful
+// drain on shutdown; served verdict streams are byte-identical across runs
+// and pool sizes, pinned by goldens under cmd/drvserve/testdata and the
+// BENCH_serve.json ingestion baseline. examples holds six runnable
+// walkthroughs, including examples/extsut, an outside consumer that
+// monitors queues of its own using only the exp surface (and records them
+// to trace files with -trace, ready to stream to drvserve). The root bench
+// and test files regenerate every table and figure of the paper.
 //
 // Table 1 runs on a parallel experiment engine (internal/experiment.Run):
 // the table decomposes into independent units — one per (cell, seed,

@@ -11,9 +11,13 @@
 // interleaving of logical processes, and replay is deterministic by
 // construction.
 //
+// With -trace DIR the recorded histories are also written to
+// DIR/<workload>.jsonl in the exp/trace wire format, ready to be re-checked
+// offline or streamed to a drvserve server.
+//
 // Usage:
 //
-//	extsut [-procs 3] [-seed 1] [-steps 60]
+//	extsut [-procs 3] [-seed 1] [-steps 60] [-trace DIR]
 package main
 
 import (
@@ -22,6 +26,7 @@ import (
 	"io"
 	"math/rand"
 	"os"
+	"path/filepath"
 	"sync"
 
 	"github.com/drv-go/drv/exp/monitor"
@@ -86,12 +91,17 @@ func (q *staleQueue) Pop() {
 // different processes overlap.
 type workload interface {
 	name() string
+	// slug is the workload's file-name-safe identifier, used for -trace
+	// output files.
+	slug() string
 	begin(p int, rng *rand.Rand, next func() int64) (op string, arg trace.Value, complete func() trace.Value)
 }
 
 type chanWorkload struct{ q *chanQueue }
 
 func (w chanWorkload) name() string { return "channel queue" }
+
+func (w chanWorkload) slug() string { return "chan_queue" }
 
 func (w chanWorkload) begin(p int, rng *rand.Rand, next func() int64) (string, trace.Value, func() trace.Value) {
 	if rng.Intn(2) == 0 {
@@ -113,6 +123,8 @@ func (w chanWorkload) begin(p int, rng *rand.Rand, next func() int64) (string, t
 type staleWorkload struct{ q *staleQueue }
 
 func (w staleWorkload) name() string { return "stale-deq queue (seeded bug)" }
+
+func (w staleWorkload) slug() string { return "stale_queue" }
 
 func (w staleWorkload) begin(p int, rng *rand.Rand, next func() int64) (string, trace.Value, func() trace.Value) {
 	if rng.Intn(2) == 0 {
@@ -165,10 +177,34 @@ func record(w workload, procs, steps int, seed int64) trace.Word {
 	return rec.History()
 }
 
-func report(out io.Writer, s *monitor.Session, w workload, procs, steps int, seed int64) error {
+// writeTrace dumps a recorded history as an exp/trace NDJSON file.
+func writeTrace(dir, slug string, procs int, h trace.Word) error {
+	f, err := os.Create(filepath.Join(dir, slug+".jsonl"))
+	if err != nil {
+		return err
+	}
+	tw := trace.NewWriter(f)
+	if err := tw.WriteMeta(trace.Meta{N: procs}); err == nil {
+		err = tw.WriteWord(h)
+	}
+	if err == nil {
+		err = tw.Flush()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+func report(out io.Writer, s *monitor.Session, w workload, traceDir string, procs, steps int, seed int64) error {
 	h := record(w, procs, steps, seed)
 	fmt.Fprintf(out, "SUT: %s — %d procs, %d scheduler picks, seed %d\n", w.name(), procs, steps, seed)
 	fmt.Fprintf(out, "recorded history (%d events): %s\n", len(h), h)
+	if traceDir != "" {
+		if err := writeTrace(traceDir, w.slug(), procs, h); err != nil {
+			return err
+		}
+	}
 
 	res, err := s.Run(monitor.Config{
 		N:       procs,
@@ -197,22 +233,23 @@ func report(out io.Writer, s *monitor.Session, w workload, procs, steps int, see
 	return nil
 }
 
-func run(out io.Writer, procs, steps int, seed int64) error {
+func run(out io.Writer, traceDir string, procs, steps int, seed int64) error {
 	s := monitor.NewSession()
 	defer s.Close()
-	if err := report(out, s, chanWorkload{q: newChanQueue(procs * steps)}, procs, steps, seed); err != nil {
+	if err := report(out, s, chanWorkload{q: newChanQueue(procs * steps)}, traceDir, procs, steps, seed); err != nil {
 		return err
 	}
 	fmt.Fprintln(out)
-	return report(out, s, staleWorkload{q: &staleQueue{}}, procs, steps, seed)
+	return report(out, s, staleWorkload{q: &staleQueue{}}, traceDir, procs, steps, seed)
 }
 
 func main() {
 	procs := flag.Int("procs", 3, "logical processes")
 	steps := flag.Int("steps", 60, "scheduler picks in the recorded workload")
 	seed := flag.Int64("seed", 1, "workload seed")
+	traceDir := flag.String("trace", "", "directory to write the recorded histories to as NDJSON trace files")
 	flag.Parse()
-	if err := run(os.Stdout, *procs, *steps, *seed); err != nil {
+	if err := run(os.Stdout, *traceDir, *procs, *steps, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "extsut:", err)
 		os.Exit(1)
 	}

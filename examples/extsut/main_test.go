@@ -10,6 +10,8 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+
+	"github.com/drv-go/drv/exp/trace"
 )
 
 var update = flag.Bool("update", false, "rewrite the golden verdict stream")
@@ -18,7 +20,7 @@ var update = flag.Bool("update", false, "rewrite the golden verdict stream")
 // stream is byte-deterministic for a given seed.
 func TestGoldenVerdictStream(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, 3, 60, 1); err != nil {
+	if err := run(&buf, "", 3, 60, 1); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	golden := filepath.Join("testdata", "verdicts.golden")
@@ -38,11 +40,45 @@ func TestGoldenVerdictStream(t *testing.T) {
 
 	// A second run in the same process must be byte-identical too.
 	var again bytes.Buffer
-	if err := run(&again, 3, 60, 1); err != nil {
+	if err := run(&again, "", 3, 60, 1); err != nil {
 		t.Fatalf("second run: %v", err)
 	}
 	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
 		t.Fatal("two runs with the same seed diverged")
+	}
+}
+
+// TestTraceOutRoundTrips pins the -trace output: the written NDJSON files
+// parse back to exactly the recorded histories.
+func TestTraceOutRoundTrips(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	if err := run(&buf, dir, 3, 60, 1); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, tc := range []struct {
+		slug string
+		w    workload
+	}{
+		{"chan_queue", chanWorkload{q: newChanQueue(180)}},
+		{"stale_queue", staleWorkload{q: &staleQueue{}}},
+	} {
+		f, err := os.Open(filepath.Join(dir, tc.slug+".jsonl"))
+		if err != nil {
+			t.Fatalf("%s: %v", tc.slug, err)
+		}
+		tr, err := trace.Read(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("%s: parse: %v", tc.slug, err)
+		}
+		if tr.Meta.N != 3 {
+			t.Fatalf("%s: meta n = %d, want 3", tc.slug, tr.Meta.N)
+		}
+		want := record(tc.w, 3, 60, 1)
+		if !tr.Word.Equal(want) {
+			t.Fatalf("%s: round-tripped history differs:\n got %v\nwant %v", tc.slug, tr.Word, want)
+		}
 	}
 }
 

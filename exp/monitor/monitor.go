@@ -170,12 +170,23 @@ func NewSession() *Session { return &Session{s: imonitor.NewSession()} }
 // Close; it just loses its warm state.
 func (s *Session) Close() { s.s.Close() }
 
+// ErrTruncated reports that a replay hit Config.MaxSteps before the recorded
+// history was fully exhibited: the verdicts cover only a prefix of the
+// history. Session.Run returns it wrapped, alongside the partial Result, so
+// callers can distinguish an honest partial verdict stream from a complete
+// one (match with errors.Is).
+var ErrTruncated = errors.New("monitor: replay truncated by MaxSteps before the history drained")
+
 // Run replays cfg.History through the selected monitor and returns the
 // verdict stream. The replay is deterministic: the word-cursor adversary
 // exhibits exactly the recorded history (Claim 3.1), so the same Config
 // yields a byte-identical Result. The returned Result is owned by the
 // session and overwritten by the next Run; callers that keep it across runs
 // must copy what they need.
+//
+// When the step bound cuts the replay short, Run returns the partial Result
+// together with an error wrapping ErrTruncated; Result.Drained reports the
+// same condition (false on a cutoff). All other errors return a nil Result.
 func (s *Session) Run(cfg Config) (*Result, error) {
 	kind, err := cfg.validate()
 	if err != nil {
@@ -204,6 +215,14 @@ func (s *Session) Run(cfg Config) (*Result, error) {
 		},
 		MaxSteps: cfg.MaxSteps,
 	})
+	if !res.Drained {
+		maxSteps := cfg.MaxSteps
+		if maxSteps <= 0 {
+			maxSteps = DefaultMaxSteps
+		}
+		return res, fmt.Errorf("%w: %d of %d history events exhibited in %d steps (MaxSteps %d)",
+			ErrTruncated, len(res.History), len(cfg.History), res.Steps, maxSteps)
+	}
 	return res, nil
 }
 

@@ -2,6 +2,7 @@ package monitor_test
 
 import (
 	"bytes"
+	"errors"
 	"reflect"
 	"strings"
 	"testing"
@@ -234,5 +235,49 @@ func TestRecorderPendingOperation(t *testing.T) {
 	}
 	if res.TotalNO() != 0 {
 		t.Fatalf("pending-deq history judged NO: %v", res.Verdicts)
+	}
+}
+
+// TestRunTruncated pins the truncation contract: a replay cut by MaxSteps
+// returns the partial Result together with an error wrapping ErrTruncated,
+// and Result.Drained is false; the same history with room to finish drains
+// cleanly. Regression test for the silently-cut replays drvserve relies on
+// reporting honestly.
+func TestRunTruncated(t *testing.T) {
+	b := trace.NewB()
+	for i := 0; i < 200; i++ {
+		b.Op(0, "enq", trace.Int(int64(i)), trace.Unit{})
+	}
+	h := b.Word()
+
+	s := monitor.NewSession()
+	defer s.Close()
+
+	res, err := s.Run(monitor.Config{N: 1, Object: trace.Queue(), Logic: monitor.LogicLin, History: h, MaxSteps: 25})
+	if err == nil {
+		t.Fatal("truncated replay returned no error")
+	}
+	if !errors.Is(err, monitor.ErrTruncated) {
+		t.Fatalf("error %q does not wrap ErrTruncated", err)
+	}
+	if res == nil {
+		t.Fatal("truncated replay returned no partial Result")
+	}
+	if res.Drained {
+		t.Fatal("truncated replay reports Drained")
+	}
+	if len(res.History) >= len(h) {
+		t.Fatalf("truncated replay exhibited %d of %d events", len(res.History), len(h))
+	}
+
+	full, err := s.Run(monitor.Config{N: 1, Object: trace.Queue(), Logic: monitor.LogicLin, History: h})
+	if err != nil {
+		t.Fatalf("unbounded replay: %v", err)
+	}
+	if !full.Drained {
+		t.Fatal("unbounded replay did not drain")
+	}
+	if len(full.History) != len(h) {
+		t.Fatalf("unbounded replay exhibited %d of %d events", len(full.History), len(h))
 	}
 }

@@ -24,6 +24,7 @@ type Recorder struct {
 	mu      sync.Mutex
 	pending []string // per-process op name of the outstanding invocation
 	open    []bool
+	aborted []string // non-empty: op whose Record body panicked on this process
 	w       trace.Word
 }
 
@@ -32,7 +33,7 @@ func NewRecorder(n int) *Recorder {
 	if n < 1 {
 		panic(fmt.Sprintf("monitor: NewRecorder n must be ≥ 1, got %d", n))
 	}
-	return &Recorder{pending: make([]string, n), open: make([]bool, n)}
+	return &Recorder{pending: make([]string, n), open: make([]bool, n), aborted: make([]string, n)}
 }
 
 // Procs returns the number of logical processes.
@@ -70,11 +71,38 @@ func (r *Recorder) Respond(proc int, ret trace.Value) {
 // invocation, calls f outside the recorder lock, and records f's return
 // value as the response. It is the one-line instrumentation for call sites
 // that don't need to place the events themselves.
+//
+// If f panics, the panic propagates, but the recorder stays consistent: the
+// open bracket is recorded as an abort. The invocation remains in the
+// history as a pending operation — exactly the shape a crashed process
+// leaves behind in the paper's model, which the monitors handle — and the
+// process records no further events (recording on an aborted process panics
+// with the abort's provenance rather than a misleading pending-operation
+// message). Other processes are unaffected, and the history stays
+// well-formed.
 func (r *Recorder) Record(proc int, op string, arg trace.Value, f func() trace.Value) trace.Value {
 	r.Invoke(proc, op, arg)
+	completed := false
+	defer func() {
+		if !completed {
+			r.abort(proc)
+		}
+	}()
 	ret := f()
+	completed = true
 	r.Respond(proc, ret)
 	return ret
+}
+
+// abort closes the bracket a panicking Record body left open: the pending
+// invocation stays in the history as an incomplete operation and the process
+// is marked crashed.
+func (r *Recorder) abort(proc int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.aborted[proc] = r.pending[proc]
+	r.open[proc] = false
+	r.pending[proc] = ""
 }
 
 // History returns a copy of the history recorded so far. The copy is
@@ -96,5 +124,8 @@ func (r *Recorder) Len() int {
 func (r *Recorder) check(proc int) {
 	if proc < 0 || proc >= len(r.pending) {
 		panic(fmt.Sprintf("monitor: Recorder: process %d out of range [0,%d)", proc, len(r.pending)))
+	}
+	if op := r.aborted[proc]; op != "" {
+		panic(fmt.Sprintf("monitor: Recorder: process %d aborted (its %q Record body panicked); an aborted process records no further events", proc, op))
 	}
 }

@@ -1,0 +1,75 @@
+package monitor_test
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/drv-go/drv/exp/monitor"
+	"github.com/drv-go/drv/exp/trace"
+)
+
+// TestRecordPanicAborts pins the panic contract of Recorder.Record: a
+// panicking operation body re-panics, but the recorder stays consistent —
+// the invocation remains in the history as a pending operation (the crash
+// shape), the history stays well-formed and replayable, other processes keep
+// recording, and further use of the aborted process fails with the abort's
+// provenance instead of a misleading "already has a pending operation".
+func TestRecordPanicAborts(t *testing.T) {
+	rec := monitor.NewRecorder(2)
+	rec.Record(0, "enq", trace.Int(1), func() trace.Value { return trace.Unit{} })
+
+	func() {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatal("panic did not propagate out of Record")
+			}
+			if r != "boom" {
+				t.Fatalf("recovered %v, want the body's own panic value", r)
+			}
+		}()
+		rec.Record(0, "deq", nil, func() trace.Value { panic("boom") })
+	}()
+
+	// The other process is unaffected.
+	rec.Record(1, "enq", trace.Int(2), func() trace.Value { return trace.Unit{} })
+
+	h := rec.History()
+	if err := trace.WellFormed(h); err != nil {
+		t.Fatalf("history after abort is not well-formed: %v", err)
+	}
+	want := trace.NewB().
+		Op(0, "enq", trace.Int(1), trace.Unit{}).
+		Inv(0, "deq", nil).
+		Op(1, "enq", trace.Int(2), trace.Unit{}).
+		Word()
+	if !h.Equal(want) {
+		t.Fatalf("history after abort:\n got %v\nwant %v", h, want)
+	}
+
+	// The pending deq is a crashed operation; the history replays cleanly.
+	if _, err := monitor.Run(monitor.Config{N: 2, Object: trace.Queue(), Logic: monitor.LogicLin, History: h}); err != nil {
+		t.Fatalf("replay of post-abort history: %v", err)
+	}
+
+	// The aborted process records no further events, with an honest message.
+	for name, use := range map[string]func(){
+		"Invoke":  func() { rec.Invoke(0, "enq", trace.Int(3)) },
+		"Respond": func() { rec.Respond(0, trace.Unit{}) },
+		"Record":  func() { rec.Record(0, "enq", nil, func() trace.Value { return trace.Unit{} }) },
+	} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("%s on an aborted process did not panic", name)
+				}
+				msg, ok := r.(string)
+				if !ok || !strings.Contains(msg, `process 0 aborted (its "deq" Record body panicked)`) {
+					t.Fatalf("%s on an aborted process panicked with %v, want the abort provenance", name, r)
+				}
+			}()
+			use()
+		}()
+	}
+}

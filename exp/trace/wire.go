@@ -3,6 +3,7 @@ package trace
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 )
@@ -90,6 +91,12 @@ func EncodeValue(v Value) (*WireValue, error) {
 	case Rec:
 		return &WireValue{T: "rec", Str: string(x)}, nil
 	case Seq:
+		// Canonical empty encoding: a nil Seq slice, so an empty sequence —
+		// whether the Go value is Seq(nil) or Seq{} — always produces the
+		// same WireValue representation and the same {"t":"seq"} line.
+		if len(x) == 0 {
+			return &WireValue{T: "seq"}, nil
+		}
 		seq := make([]string, len(x))
 		for i, r := range x {
 			seq[i] = string(r)
@@ -114,6 +121,9 @@ func DecodeValue(v *WireValue) (Value, error) {
 	case "rec":
 		return Rec(v.Str), nil
 	case "seq":
+		// All wire spellings of an empty sequence — {"t":"seq"},
+		// {"t":"seq","seq":null}, {"t":"seq","seq":[]} — decode to the
+		// canonical non-nil Seq{}, which re-encodes to {"t":"seq"}.
 		seq := make(Seq, len(v.Seq))
 		for i, s := range v.Seq {
 			seq[i] = Rec(s)
@@ -216,7 +226,15 @@ type Trace struct {
 	Steps map[int][]int
 }
 
-// Read parses a whole trace stream.
+// ErrMissingMeta is wrapped by Read when a trace has no meta header line.
+var ErrMissingMeta = errors.New("missing meta header line")
+
+// Read parses a whole trace stream. The format is strict about its header:
+// the first non-blank line must be the one meta line — a trace with no meta,
+// a duplicate meta, or a meta in mid-stream is rejected with the offending
+// line number rather than silently resolved last-meta-wins. A line longer
+// than ReadMaxLineBytes fails with an error that wraps bufio.ErrTooLong and
+// reports the line it occurred on.
 func Read(r io.Reader) (*Trace, error) {
 	t := &Trace{
 		Verdicts: map[int][]string{},
@@ -225,6 +243,7 @@ func Read(r io.Reader) (*Trace, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, ReadBufferSize), ReadMaxLineBytes)
 	line := 0
+	metaLine := 0 // line number of the meta header, 0 while unseen
 	for sc.Scan() {
 		line++
 		raw := sc.Bytes()
@@ -237,16 +256,30 @@ func Read(r io.Reader) (*Trace, error) {
 		}
 		switch e.Kind {
 		case KindMeta:
-			if e.Meta != nil {
-				t.Meta = *e.Meta
+			if metaLine != 0 {
+				// Covers both the literal duplicate and the mid-stream meta:
+				// a meta after symbols or verdicts necessarily follows the
+				// header (events before any meta are rejected below).
+				return nil, fmt.Errorf("trace: line %d: duplicate meta line (header is at line %d)", line, metaLine)
 			}
+			if e.Meta == nil {
+				return nil, fmt.Errorf("trace: line %d: meta line carries no meta object", line)
+			}
+			t.Meta = *e.Meta
+			metaLine = line
 		case KindSym:
+			if metaLine == 0 {
+				return nil, fmt.Errorf("trace: line %d: symbol line before the meta header: %w", line, ErrMissingMeta)
+			}
 			s, err := DecodeSymbol(e)
 			if err != nil {
 				return nil, fmt.Errorf("trace: line %d: %w", line, err)
 			}
 			t.Word = append(t.Word, s)
 		case KindVerdict:
+			if metaLine == 0 {
+				return nil, fmt.Errorf("trace: line %d: verdict line before the meta header: %w", line, ErrMissingMeta)
+			}
 			t.Verdicts[e.Proc] = append(t.Verdicts[e.Proc], e.Verdict)
 			t.Steps[e.Proc] = append(t.Steps[e.Proc], e.Step)
 		default:
@@ -254,7 +287,13 @@ func Read(r io.Reader) (*Trace, error) {
 		}
 	}
 	if err := sc.Err(); err != nil {
+		if errors.Is(err, bufio.ErrTooLong) {
+			return nil, fmt.Errorf("trace: line %d: line exceeds ReadMaxLineBytes (%d): %w", line+1, ReadMaxLineBytes, err)
+		}
 		return nil, fmt.Errorf("trace: %w", err)
+	}
+	if metaLine == 0 {
+		return nil, fmt.Errorf("trace: %w", ErrMissingMeta)
 	}
 	return t, nil
 }

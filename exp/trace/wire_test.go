@@ -1,0 +1,157 @@
+package trace_test
+
+import (
+	"bufio"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/drv-go/drv/exp/trace"
+)
+
+// TestReadErrorPaths table-tests the hostile inputs the wire format must
+// reject, pinning that each error names the offending line.
+func TestReadErrorPaths(t *testing.T) {
+	meta := `{"kind":"meta","meta":{"n":2}}`
+	sym := `{"kind":"sym","proc":0,"sym":"inv","op":"inc"}`
+	tests := []struct {
+		name string
+		in   string
+		want string // substring the error must contain
+		is   error  // optional sentinel the error must wrap
+	}{
+		{
+			name: "garbage JSON",
+			in:   meta + "\n{not json}\n",
+			want: "line 2",
+		},
+		{
+			name: "unknown kind",
+			in:   meta + "\n" + `{"kind":"wat"}` + "\n",
+			want: `line 2: unknown event kind "wat"`,
+		},
+		{
+			name: "unknown value tag",
+			in:   meta + "\n" + `{"kind":"sym","proc":0,"sym":"inv","op":"inc","val":{"t":"blob"}}` + "\n",
+			want: `line 2: trace: unknown value tag "blob"`,
+		},
+		{
+			name: "unknown symbol kind",
+			in:   meta + "\n" + `{"kind":"sym","proc":0,"sym":"bogus","op":"inc"}` + "\n",
+			want: `line 2: trace: unknown symbol kind "bogus"`,
+		},
+		{
+			name: "empty trace",
+			in:   "",
+			want: "missing meta header",
+			is:   trace.ErrMissingMeta,
+		},
+		{
+			name: "symbol before meta",
+			in:   sym + "\n" + meta + "\n",
+			want: "line 1: symbol line before the meta header",
+			is:   trace.ErrMissingMeta,
+		},
+		{
+			name: "verdict before meta",
+			in:   `{"kind":"verdict","proc":0,"verdict":"YES","step":3}` + "\n" + meta + "\n",
+			want: "line 1: verdict line before the meta header",
+			is:   trace.ErrMissingMeta,
+		},
+		{
+			name: "duplicate meta",
+			in:   meta + "\n" + meta + "\n",
+			want: "line 2: duplicate meta line (header is at line 1)",
+		},
+		{
+			name: "mid-stream meta",
+			in:   meta + "\n" + sym + "\n" + meta + "\n",
+			want: "line 3: duplicate meta line (header is at line 1)",
+		},
+		{
+			name: "meta line without meta object",
+			in:   `{"kind":"meta"}` + "\n",
+			want: "line 1: meta line carries no meta object",
+		},
+		{
+			name: "too-long line",
+			in:   meta + "\n" + `{"kind":"sym","op":"` + strings.Repeat("x", trace.ReadMaxLineBytes+1) + `"}` + "\n",
+			want: "line 2: line exceeds ReadMaxLineBytes",
+			is:   bufio.ErrTooLong,
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := trace.Read(strings.NewReader(tc.in))
+			if err == nil {
+				t.Fatalf("Read accepted %q", tc.in)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not contain %q", err, tc.want)
+			}
+			if tc.is != nil && !errors.Is(err, tc.is) {
+				t.Fatalf("error %q does not wrap %v", err, tc.is)
+			}
+		})
+	}
+}
+
+// TestEmptySeqCanonical pins the canonical wire representation of empty and
+// nested-empty sequence values: Encode∘Decode is the identity on the wire
+// form, and both Seq(nil) and Seq{} encode to the same line.
+func TestEmptySeqCanonical(t *testing.T) {
+	encNil, err := trace.EncodeValue(trace.Seq(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	encEmpty, err := trace.EncodeValue(trace.Seq{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	canonical := &trace.WireValue{T: "seq"}
+	if !reflect.DeepEqual(encNil, canonical) || !reflect.DeepEqual(encEmpty, canonical) {
+		t.Fatalf("empty-seq encodings not canonical: nil→%+v empty→%+v", encNil, encEmpty)
+	}
+	for _, wire := range []*trace.WireValue{
+		{T: "seq"},
+		{T: "seq", Seq: []string{}},
+	} {
+		v, err := trace.DecodeValue(wire)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, ok := v.(trace.Seq)
+		if !ok || s == nil || len(s) != 0 {
+			t.Fatalf("decode %+v = %#v, want canonical non-nil empty Seq", wire, v)
+		}
+		back, err := trace.EncodeValue(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(back, canonical) {
+			t.Fatalf("Encode(Decode(%+v)) = %+v, want %+v", wire, back, canonical)
+		}
+	}
+	// Nested-empty: empty records inside a non-empty sequence round-trip
+	// exactly.
+	nested := trace.Seq{"", "x", ""}
+	enc, err := trace.EncodeValue(nested)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := trace.DecodeValue(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(dec, nested) {
+		t.Fatalf("nested-empty round trip changed %#v into %#v", nested, dec)
+	}
+	again, err := trace.EncodeValue(dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(again, enc) {
+		t.Fatalf("nested-empty re-encoding drifted: %+v vs %+v", enc, again)
+	}
+}

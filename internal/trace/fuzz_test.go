@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 
@@ -23,6 +24,15 @@ func FuzzTraceEncodeDecode(f *testing.F) {
 		`{"kind":"sym","proc":0,"sym":"res","op":"inc","val":{"t":"unit"}}` + "\n" +
 		`{"kind":"verdict","proc":0,"verdict":"YES","step":7}`))
 	f.Add([]byte(`{"kind":"sym","proc":1,"sym":"res","op":"get","val":{"t":"seq","seq":["a","b"]}}`))
+	// Empty and nested-empty sequences: all wire spellings of an empty seq
+	// ({"t":"seq"}, "seq":null, "seq":[]) must decode to the canonical Seq{}
+	// and re-encode to the canonical {"t":"seq"} line, and empty records
+	// inside a sequence must survive untouched.
+	f.Add([]byte(`{"kind":"meta","meta":{"n":1}}` + "\n" +
+		`{"kind":"sym","proc":0,"sym":"res","op":"get","val":{"t":"seq"}}` + "\n" +
+		`{"kind":"sym","proc":0,"sym":"res","op":"get","val":{"t":"seq","seq":null}}` + "\n" +
+		`{"kind":"sym","proc":0,"sym":"res","op":"get","val":{"t":"seq","seq":[]}}` + "\n" +
+		`{"kind":"sym","proc":0,"sym":"res","op":"get","val":{"t":"seq","seq":["","x",""]}}`))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		fuzzStructured(t, data)
 		fuzzParser(t, data)
@@ -45,7 +55,11 @@ func fuzzStructured(t *testing.T, data []byte) {
 		case 2:
 			val = word.Rec(strings.Repeat("r", int(a%5)+1))
 		default:
-			val = word.Seq{"x", word.Rec([]byte{'a' + a%3}), "z"}[:a%4]
+			s := word.Seq{"x", word.Rec([]byte{'a' + a%3}), "z"}[:a%4]
+			if a%8 == 0 {
+				s = nil // nil and empty Seq must share one canonical encoding
+			}
+			val = s
 		}
 		if a%2 == 0 {
 			w = append(w, word.NewInv(proc, "op", val))
@@ -64,6 +78,24 @@ func fuzzStructured(t *testing.T, data []byte) {
 		}
 		if !back.Equal(sym) {
 			t.Fatalf("round trip changed %v into %v", sym, back)
+		}
+		// Encode∘Decode is the identity on wire representations: the decoded
+		// symbol re-encodes to byte-identical JSON, so empty and nil values
+		// cannot drift between spellings across round trips.
+		again, err := EncodeSymbol(back)
+		if err != nil {
+			t.Fatalf("cannot re-encode %v: %v", back, err)
+		}
+		j1, err := json.Marshal(ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		j2, err := json.Marshal(again)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(j1, j2) {
+			t.Fatalf("re-encoding is not canonical: %s vs %s", j1, j2)
 		}
 	}
 }

@@ -134,6 +134,9 @@ func TestReadRejectsGarbage(t *testing.T) {
 func TestReadSkipsBlankLines(t *testing.T) {
 	var buf bytes.Buffer
 	w := NewWriter(&buf)
+	if err := w.WriteMeta(Meta{N: 1}); err != nil {
+		t.Fatal(err)
+	}
 	if err := w.WriteSymbol(word.NewInv(0, "inc", nil)); err != nil {
 		t.Fatal(err)
 	}
@@ -183,6 +186,9 @@ func TestPropertyRoundTrip(t *testing.T) {
 		ww := randomWord(rng, int(size%64))
 		var buf bytes.Buffer
 		w := NewWriter(&buf)
+		if err := w.WriteMeta(Meta{N: 4}); err != nil {
+			return false
+		}
 		if err := w.WriteWord(ww); err != nil {
 			return false
 		}
